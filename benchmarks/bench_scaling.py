@@ -1,0 +1,63 @@
+"""Ablation A1 — simulated speedup vs worker count.
+
+Sweeps workers for DACPara and the fused baseline on one arithmetic
+circuit (mult, low conflict) and one MtM-like circuit (sixteen, hub
+contention).  Expected shape: both scale on mult; on sixteen the fused
+engine's scaling flattens (conflict serialization) while DACPara keeps
+scaling until the per-level worklists run out of width.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import make_epfl, make_mtm
+from repro.core import DACParaRewriter
+from repro.config import dacpara_config, iccad18_config
+from repro.rewrite import LockFusedRewriter
+from repro.experiments import format_table
+
+from conftest import write_report
+
+WORKER_COUNTS = [1, 4, 16, 40]
+_CELLS = {}
+
+
+def _factory(circuit):
+    return make_epfl("mult") if circuit == "mult" else make_mtm("sixteen")
+
+
+@pytest.mark.parametrize("circuit", ["mult", "sixteen"])
+@pytest.mark.parametrize("engine", ["dacpara", "iccad18"])
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_scaling_cell(benchmark, circuit, engine, workers):
+    def cell():
+        aig = _factory(circuit)
+        if engine == "dacpara":
+            return DACParaRewriter(dacpara_config(workers=workers)).run(aig)
+        return LockFusedRewriter(iccad18_config(workers=workers)).run(aig)
+
+    result = benchmark.pedantic(cell, rounds=1, iterations=1)
+    _CELLS[(circuit, engine, workers)] = result
+    benchmark.extra_info.update(makespan=result.makespan_units)
+
+
+def test_scaling_report(benchmark):
+    headers = ["Circuit", "Engine"] + [f"{w}w speedup" for w in WORKER_COUNTS]
+    rows = []
+    for circuit in ("mult", "sixteen"):
+        for engine in ("dacpara", "iccad18"):
+            base = _CELLS[(circuit, engine, 1)].makespan_units
+            line = [circuit, engine]
+            for w in WORKER_COUNTS:
+                span = _CELLS[(circuit, engine, w)].makespan_units
+                line.append(f"{base / max(span, 1):.2f}x")
+            rows.append(line)
+    write_report("scaling.txt", format_table(headers, rows))
+
+    # Shape assertions.
+    dac_16 = _CELLS[("sixteen", "dacpara", 40)].makespan_units
+    fused_16 = _CELLS[("sixteen", "iccad18", 40)].makespan_units
+    assert dac_16 < fused_16, "DACPara must win on the MtM circuit at 40 workers"
+    dac_1 = _CELLS[("sixteen", "dacpara", 1)].makespan_units
+    assert dac_1 / dac_16 > 4, "DACPara must keep scaling on MtM"

@@ -1,0 +1,35 @@
+"""Table 1 — benchmark detail (PIs, POs, Area, Delay, Source).
+
+Regenerates the paper's benchmark-inventory table for the scaled
+suite.  The benchmark measures suite generation time.
+"""
+
+from __future__ import annotations
+
+from repro.bench import table1_suite
+from repro.experiments import format_table, table1_rows
+
+from conftest import write_report
+
+_SUITE = []
+
+
+def test_table1_generate(benchmark):
+    def build():
+        return table1_suite()
+
+    suite = benchmark.pedantic(build, rounds=1, iterations=1)
+    _SUITE.extend(suite)
+    assert len(suite) == 12
+
+
+def test_table1_report(benchmark):
+    assert _SUITE, "generation cell must run first"
+    headers, rows = table1_rows(_SUITE)
+    write_report("table1.txt", format_table(headers, rows))
+    # Sanity properties of the suite shape (mirrors the paper's table):
+    mtm = [a for a in _SUITE if "xd" not in a.name]
+    assert len(mtm) == 3
+    # hyp must be deeper than mem_ctrl (the deep/shallow family split).
+    depth = {a.name.split("_")[0]: a.max_level() for a in _SUITE}
+    assert depth["hyp"] > depth["mem"] or depth["hyp"] > min(depth.values())

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""A miniature of the paper's Table 2 flow on two benchmarks.
+
+Generates an arithmetic benchmark (mult, doubled) and an MtM-like one
+(sixteen), runs the serial ABC model, the ICCAD'18 fused-lock model and
+DACPara on each, verifies equivalence, and prints the comparison —
+including the effect the paper is about: DACPara and ICCAD'18 are
+comparable on arithmetic circuits, but the fused operator collapses on
+the high-fanout MtM circuit.
+
+Run:  python examples/epfl_flow.py        (~1 minute)
+"""
+
+from repro.bench import make_epfl, make_mtm
+from repro.experiments import (
+    comparison_table,
+    format_table,
+    run_experiment,
+    speedup_summary,
+)
+
+ENGINES = ["abc", "iccad18", "dacpara"]
+
+
+def main() -> None:
+    factories = {
+        "mult": lambda: make_epfl("mult"),
+        "sixteen": lambda: make_mtm("sixteen"),
+    }
+    rows = []
+    for bench, factory in factories.items():
+        for engine in ENGINES:
+            row = run_experiment(engine, factory, check=True)
+            row.benchmark = bench
+            rows.append(row)
+            res = row.result
+            print(
+                f"{bench:10s} {engine:10s} makespan={res.makespan_units:>8d}u "
+                f"area-{res.area_reduction:<5d} delay={res.delay_after:<4d} "
+                f"conflicts={res.conflicts:<6d} cec={row.cec_method}"
+            )
+    headers, table = comparison_table(rows, ENGINES, baseline="dacpara")
+    print()
+    print(format_table(headers, table))
+    print(
+        f"\nDACPara vs ABC:      {speedup_summary(rows, 'abc', 'dacpara'):.2f}x"
+        f"\nDACPara vs ICCAD'18: {speedup_summary(rows, 'iccad18', 'dacpara'):.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

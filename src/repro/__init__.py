@@ -1,0 +1,63 @@
+"""DACPara reproduction: divide-and-conquer parallel AIG rewriting.
+
+Public API quick tour::
+
+    from repro import Aig, DACParaRewriter, dacpara_config, check_equivalence
+
+    aig = ...                                   # build or read_aiger(...)
+    result = DACParaRewriter(dacpara_config(workers=40)).run(aig)
+    print(result.summary())
+
+Subpackages:
+
+* :mod:`repro.aig` — the And-Inverter Graph substrate
+* :mod:`repro.cuts` — k-feasible cut enumeration
+* :mod:`repro.npn` — NPN canonicalization (222 classes)
+* :mod:`repro.library` — replacement-structure library (NST)
+* :mod:`repro.rewrite` — serial / ICCAD'18 / GPU-model engines
+* :mod:`repro.core` — the DACPara engine itself
+* :mod:`repro.galois` — the Galois-like parallel runtime
+* :mod:`repro.sat` — CDCL SAT solver and equivalence checking
+* :mod:`repro.bench` — benchmark circuit generators
+* :mod:`repro.experiments` — the table/figure reproduction harness
+"""
+
+from .aig import Aig, check, lit_not, lit_var, read_aiger, write_aag, write_aig
+from .config import (
+    RewriteConfig,
+    abc_rewrite_config,
+    dacpara_config,
+    dacpara_p1_config,
+    dacpara_p2_config,
+    gpu_config,
+    iccad18_config,
+)
+from .core import DACParaRewriter
+from .rewrite import LockFusedRewriter, RewriteResult, SerialRewriter, StaticRewriter
+from .sat import check_equivalence
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aig",
+    "check",
+    "lit_not",
+    "lit_var",
+    "read_aiger",
+    "write_aag",
+    "write_aig",
+    "RewriteConfig",
+    "abc_rewrite_config",
+    "dacpara_config",
+    "dacpara_p1_config",
+    "dacpara_p2_config",
+    "gpu_config",
+    "iccad18_config",
+    "DACParaRewriter",
+    "LockFusedRewriter",
+    "RewriteResult",
+    "SerialRewriter",
+    "StaticRewriter",
+    "check_equivalence",
+    "__version__",
+]

@@ -1,0 +1,163 @@
+"""Word-level circuit builders on top of the AIG.
+
+These are the building blocks the EPFL-like benchmark generators are
+assembled from: adders, subtractors, multipliers, comparators, shifters
+and decoders.  A *word* is a list of literals, least-significant bit
+first.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import AigError
+from .graph import Aig
+from .literals import LIT_FALSE, LIT_TRUE, lit_not
+
+Word = List[int]
+
+
+def constant_word(value: int, width: int) -> Word:
+    """A word of constant literals encoding ``value``."""
+    return [LIT_TRUE if (value >> i) & 1 else LIT_FALSE for i in range(width)]
+
+
+def pi_word(aig: Aig, width: int) -> Word:
+    """A word of fresh primary inputs."""
+    return [aig.add_pi() for _ in range(width)]
+
+
+def half_adder(aig: Aig, a: int, b: int) -> Tuple[int, int]:
+    """Returns ``(sum, carry)``."""
+    return aig.xor_(a, b), aig.and_(a, b)
+
+
+def full_adder(aig: Aig, a: int, b: int, cin: int) -> Tuple[int, int]:
+    """Returns ``(sum, carry)`` — carry via majority for sharing."""
+    s = aig.xor_(aig.xor_(a, b), cin)
+    c = aig.maj3_(a, b, cin)
+    return s, c
+
+
+def ripple_adder(aig: Aig, a: Word, b: Word, cin: int = LIT_FALSE) -> Tuple[Word, int]:
+    """Ripple-carry addition of equal-width words; returns (sum, carry)."""
+    if len(a) != len(b):
+        raise AigError(f"adder width mismatch: {len(a)} vs {len(b)}")
+    out: Word = []
+    carry = cin
+    for ai, bi in zip(a, b):
+        s, carry = full_adder(aig, ai, bi, carry)
+        out.append(s)
+    return out, carry
+
+
+def ripple_subtractor(aig: Aig, a: Word, b: Word) -> Tuple[Word, int]:
+    """``a - b`` two's-complement; returns (difference, borrow-free flag).
+
+    The second element is 1 when ``a >= b`` (no borrow).
+    """
+    diff, carry = ripple_adder(aig, a, [lit_not(x) for x in b], cin=LIT_TRUE)
+    return diff, carry
+
+
+def word_and(aig: Aig, a: Word, b: int) -> Word:
+    """AND every bit of ``a`` with the single literal ``b``."""
+    return [aig.and_(x, b) for x in a]
+
+
+def word_mux(aig: Aig, sel: int, t: Word, e: Word) -> Word:
+    """Bitwise ``sel ? t : e`` over equal-width words."""
+    if len(t) != len(e):
+        raise AigError(f"mux width mismatch: {len(t)} vs {len(e)}")
+    return [aig.mux_(sel, ti, ei) for ti, ei in zip(t, e)]
+
+
+def word_xor(aig: Aig, a: Word, b: Word) -> Word:
+    return [aig.xor_(x, y) for x, y in zip(a, b)]
+
+
+def multiplier(aig: Aig, a: Word, b: Word) -> Word:
+    """Array multiplier; result has ``len(a) + len(b)`` bits."""
+    width = len(a) + len(b)
+    acc = constant_word(0, width)
+    for j, bj in enumerate(b):
+        partial = constant_word(0, width)
+        row = word_and(aig, a, bj)
+        for i, bit in enumerate(row):
+            if i + j < width:
+                partial[i + j] = bit
+        acc, _ = ripple_adder(aig, acc, partial)
+    return acc
+
+
+def squarer(aig: Aig, a: Word) -> Word:
+    """``a * a`` with the shared-partial-product structure."""
+    return multiplier(aig, a, list(a))
+
+
+def less_than(aig: Aig, a: Word, b: Word) -> int:
+    """Unsigned ``a < b``."""
+    _, geq = ripple_subtractor(aig, a, b)
+    return lit_not(geq)
+
+
+def equals(aig: Aig, a: Word, b: Word) -> int:
+    """Word equality."""
+    acc = LIT_TRUE
+    for x, y in zip(a, b):
+        acc = aig.and_(acc, lit_not(aig.xor_(x, y)))
+    return acc
+
+
+def shift_left_const(a: Word, k: int) -> Word:
+    """Shift by a constant, preserving width."""
+    if k >= len(a):
+        return constant_word(0, len(a))
+    return constant_word(0, k) + a[: len(a) - k]
+
+
+def barrel_shifter(aig: Aig, a: Word, shamt: Word) -> Word:
+    """Logical left shift of ``a`` by the variable amount ``shamt``."""
+    out = list(a)
+    for stage, s in enumerate(shamt):
+        shifted = shift_left_const(out, 1 << stage)
+        out = word_mux(aig, s, shifted, out)
+    return out
+
+
+def decoder(aig: Aig, sel: Word) -> Word:
+    """One-hot decoder: ``2**len(sel)`` outputs."""
+    outs: Word = [LIT_TRUE]
+    for s in sel:
+        next_outs: Word = []
+        for o in outs:
+            next_outs.append(aig.and_(o, lit_not(s)))
+        for o in outs:
+            next_outs.append(aig.and_(o, s))
+        outs = next_outs
+    return outs
+
+
+def popcount(aig: Aig, bits: Sequence[int]) -> Word:
+    """Population count via a balanced full-adder reduction tree."""
+    columns: List[List[int]] = [list(bits)]
+    while any(len(col) > 1 for col in columns):
+        next_cols: List[List[int]] = [[] for _ in range(len(columns) + 1)]
+        for w, col in enumerate(columns):
+            pending = list(col)
+            while len(pending) >= 3:
+                a, b, c = pending.pop(), pending.pop(), pending.pop()
+                s, cy = full_adder(aig, a, b, c)
+                next_cols[w].append(s)
+                next_cols[w + 1].append(cy)
+            if len(pending) == 2:
+                a, b = pending.pop(), pending.pop()
+                s, cy = half_adder(aig, a, b)
+                next_cols[w].append(s)
+                next_cols[w + 1].append(cy)
+            elif pending:
+                next_cols[w].append(pending.pop())
+        while next_cols and not next_cols[-1]:
+            next_cols.pop()
+        columns = next_cols
+    return [col[0] if col else LIT_FALSE for col in columns]

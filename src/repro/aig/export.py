@@ -1,0 +1,69 @@
+"""Export AIGs to Graphviz DOT and structural Verilog.
+
+Small-circuit visualization and downstream-tool interchange; both
+formats are plain text and tested by parsing their own output.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .graph import Aig
+from .literals import lit_compl, lit_var
+
+
+def to_dot(aig: Aig, name: str = "aig") -> str:
+    """Graphviz DOT text; dashed edges are complemented."""
+    lines: List[str] = [f"digraph {name} {{", "  rankdir=BT;"]
+    for i, pi in enumerate(aig.pis):
+        lines.append(f'  n{pi} [shape=triangle, label="i{i}"];')
+    for var in aig.topo_ands():
+        lines.append(f'  n{var} [shape=circle, label="{var}"];')
+        for fl in aig.fanins(var):
+            style = ' [style=dashed]' if lit_compl(fl) else ""
+            lines.append(f"  n{lit_var(fl)} -> n{var}{style};")
+    for idx, lit in enumerate(aig.pos):
+        lines.append(f'  o{idx} [shape=invtriangle, label="o{idx}"];')
+        style = ' [style=dashed]' if lit_compl(lit) else ""
+        lines.append(f"  n{lit_var(lit)} -> o{idx}{style};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_verilog(aig: Aig, module_name: str = "circuit") -> str:
+    """Structural Verilog with assign statements (one per AND node)."""
+    inputs = [f"i{k}" for k in range(aig.num_pis)]
+    outputs = [f"o{k}" for k in range(aig.num_pos)]
+    lines: List[str] = [
+        f"module {module_name} (",
+        "  " + ", ".join(inputs + outputs),
+        ");",
+    ]
+    for name in inputs:
+        lines.append(f"  input {name};")
+    for name in outputs:
+        lines.append(f"  output {name};")
+
+    names = {0: "1'b0"}
+    for k, pi in enumerate(aig.pis):
+        names[pi] = f"i{k}"
+    ands = aig.topo_ands()
+    for var in ands:
+        names[var] = f"n{var}"
+        lines.append(f"  wire n{var};")
+
+    def ref(lit: int) -> str:
+        base = names[lit_var(lit)]
+        if lit_compl(lit):
+            if base == "1'b0":
+                return "1'b1"
+            return f"~{base}"
+        return base
+
+    for var in ands:
+        f0, f1 = aig.fanins(var)
+        lines.append(f"  assign n{var} = {ref(f0)} & {ref(f1)};")
+    for k, lit in enumerate(aig.pos):
+        lines.append(f"  assign o{k} = {ref(lit)};")
+    lines.append("endmodule")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Maximum fanout-free cone computation.
+
+The MFFC of a node is the set of nodes that die with it: every path
+from an MFFC member to a PO passes through the root.  Rewriting gain
+is ``|MFFC within the cut| - |new nodes added|``, so this is the heart
+of evaluation.
+
+DACPara's evaluation stage is lock-free and must not touch shared
+state, so :func:`mffc` simulates the reference-count decrements in a
+local dictionary instead of mutating the graph (the paper's
+"copies of MFFC ... through the local data structure of thread").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from .graph import Aig
+from .literals import lit_var
+
+
+def mffc(aig: Aig, root: int, leaves: Optional[Iterable[int]] = None) -> Set[int]:
+    """Nodes (including ``root``) that would become unreferenced if
+    ``root`` were removed, stopping the descent at ``leaves``.
+
+    Purely read-only: reference counts are shadowed locally.
+    """
+    if not aig.is_and(root):
+        return set()
+    stop = set(leaves) if leaves is not None else set()
+    local_ref: Dict[int, int] = {}
+    dead: Set[int] = {root}
+    stack = [root]
+    while stack:
+        v = stack.pop()
+        for fl in aig.fanins(v):
+            fv = lit_var(fl)
+            refs = local_ref.get(fv)
+            if refs is None:
+                refs = aig.nref(fv)
+            refs -= 1
+            local_ref[fv] = refs
+            if refs == 0 and aig.is_and(fv) and fv not in stop:
+                dead.add(fv)
+                stack.append(fv)
+    return dead
+
+
+def mffc_size(aig: Aig, root: int, leaves: Optional[Iterable[int]] = None) -> int:
+    """Size of the MFFC (the number of nodes saved by removing ``root``)."""
+    return len(mffc(aig, root, leaves))

@@ -1,0 +1,97 @@
+"""Iterative graph traversals over an :class:`~repro.aig.graph.Aig`.
+
+Everything here is written without Python recursion: benchmark circuits
+are thousands of levels deep (the paper's ``sqrt`` has delay 5058, its
+``hyp`` 24801) and would blow the interpreter stack otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from .graph import Aig
+from .literals import lit_var
+
+
+def topo_order(aig: Aig) -> List[int]:
+    """Live AND nodes in topological (fanin-before-fanout) order."""
+    return aig.topo_ands()
+
+
+def tfi(aig: Aig, roots: Iterable[int], stop_at: Optional[Set[int]] = None) -> Set[int]:
+    """Transitive fanin of ``roots`` (AND/PI vars, excluding the roots'
+    own membership only if not reached again).  ``stop_at`` vars are
+    included but not expanded."""
+    seen: Set[int] = set()
+    stack = [v for v in roots]
+    stop = stop_at or set()
+    while stack:
+        v = stack.pop()
+        if v in seen:
+            continue
+        seen.add(v)
+        if v in stop or not aig.is_and(v):
+            continue
+        stack.append(lit_var(aig.fanin0(v)))
+        stack.append(lit_var(aig.fanin1(v)))
+    return seen
+
+
+def tfo(aig: Aig, roots: Iterable[int]) -> Set[int]:
+    """Transitive fanout of ``roots`` (AND vars reachable forward,
+    including the roots themselves)."""
+    seen: Set[int] = set()
+    stack = [v for v in roots]
+    while stack:
+        v = stack.pop()
+        if v in seen:
+            continue
+        seen.add(v)
+        stack.extend(aig.fanouts(v))
+    return seen
+
+
+def is_in_tfi(aig: Aig, node: int, of: int) -> bool:
+    """True when ``node`` lies in the transitive fanin of ``of``."""
+    if node == of:
+        return True
+    target_level = aig.level(node)
+    stack = [of]
+    seen: Set[int] = set()
+    while stack:
+        v = stack.pop()
+        if v == node:
+            return True
+        if v in seen or not aig.is_and(v):
+            continue
+        seen.add(v)
+        # Prune: fanins at or below node's level can only reach node if
+        # they *are* node, which the equality check above covers.
+        for fl in aig.fanins(v):
+            fv = lit_var(fl)
+            if fv == node:
+                return True
+            if aig.level(fv) > target_level:
+                stack.append(fv)
+    return False
+
+
+def related(aig: Aig, a: int, b: int) -> bool:
+    """True when ``a`` and ``b`` have a transitive fanin/fanout relation
+    (the condition of the paper's Theorem 1)."""
+    return is_in_tfi(aig, a, b) or is_in_tfi(aig, b, a)
+
+
+def cone_cover(aig: Aig, root: int, leaves: Set[int]) -> Set[int]:
+    """All nodes on paths from the ``leaves`` to ``root``, including
+    ``root`` and excluding the leaves (the *cover* of the cut)."""
+    cover: Set[int] = set()
+    stack = [root]
+    while stack:
+        v = stack.pop()
+        if v in cover or v in leaves or not aig.is_and(v):
+            continue
+        cover.add(v)
+        stack.append(lit_var(aig.fanin0(v)))
+        stack.append(lit_var(aig.fanin1(v)))
+    return cover

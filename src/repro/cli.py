@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command> ...``
+
+Commands:
+
+* ``stats FILE``                      — print circuit statistics
+* ``rewrite IN -o OUT``               — run a rewriting engine
+* ``flow IN -o OUT --script resyn2``  — run an optimization flow
+* ``cec A B``                         — combinational equivalence check
+* ``gen NAME -o OUT``                 — generate a benchmark circuit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .aig import Aig, read_aiger, write_aag, write_aig
+from .bench import epfl_names, make_epfl, make_mtm, mtm_names
+from .experiments import ENGINE_FACTORIES, make_engine
+from .opt import FLOW_SCRIPTS, run_flow
+from .sat import check_equivalence_auto
+
+
+def _write(aig: Aig, path: str) -> None:
+    if path.endswith(".aag"):
+        write_aag(aig, path)
+    else:
+        write_aig(aig, path)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    aig = read_aiger(args.input)
+    print(
+        f"{args.input}: pis={aig.num_pis} pos={aig.num_pos} "
+        f"ands={aig.num_ands} depth={aig.max_level()}"
+    )
+    return 0
+
+
+def _cmd_rewrite(args: argparse.Namespace) -> int:
+    aig = read_aiger(args.input)
+    original = aig.copy() if args.verify else None
+    engine = make_engine(args.engine, workers=args.workers)
+    start = time.perf_counter()
+    result = engine.run(aig)
+    wall = time.perf_counter() - start
+    print(result.summary())
+    print(f"wall time: {wall:.2f}s")
+    if original is not None:
+        cec = check_equivalence_auto(original, aig)
+        print(f"equivalence ({cec.method}): {'OK' if cec.equivalent else 'FAILED'}")
+        if not cec.equivalent:
+            return 2
+    if args.output:
+        _write(aig, args.output)
+        print(f"written: {args.output}")
+    return 0
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    aig = read_aiger(args.input)
+    original = aig.copy() if args.verify else None
+    optimized, trace = run_flow(aig, script=args.script, workers=args.workers)
+    print(trace.summary())
+    if original is not None:
+        cec = check_equivalence_auto(original, optimized)
+        print(f"equivalence ({cec.method}): {'OK' if cec.equivalent else 'FAILED'}")
+        if not cec.equivalent:
+            return 2
+    if args.output:
+        _write(optimized, args.output)
+        print(f"written: {args.output}")
+    return 0
+
+
+def _cmd_cec(args: argparse.Namespace) -> int:
+    a = read_aiger(args.circuit_a)
+    b = read_aiger(args.circuit_b)
+    result = check_equivalence_auto(a, b)
+    if result.equivalent:
+        print(f"EQUIVALENT (method: {result.method})")
+        return 0
+    print(f"NOT EQUIVALENT (method: {result.method})")
+    print(f"counterexample: {result.counterexample}")
+    return 1
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    if args.name in epfl_names():
+        aig = make_epfl(args.name, doubled=not args.base)
+    elif args.name in mtm_names():
+        aig = make_mtm(args.name)
+    else:
+        print(
+            f"unknown benchmark {args.name!r}; available: "
+            f"{', '.join(epfl_names() + mtm_names())}",
+            file=sys.stderr,
+        )
+        return 1
+    _write(aig, args.output)
+    print(
+        f"{args.output}: pis={aig.num_pis} pos={aig.num_pos} "
+        f"ands={aig.num_ands} depth={aig.max_level()}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DACPara parallel AIG rewriting"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="print circuit statistics")
+    p_stats.add_argument("input")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_rw = sub.add_parser("rewrite", help="run a rewriting engine")
+    p_rw.add_argument("input")
+    p_rw.add_argument("-o", "--output")
+    p_rw.add_argument(
+        "--engine", default="dacpara", choices=sorted(ENGINE_FACTORIES)
+    )
+    p_rw.add_argument("--workers", type=int, default=None)
+    p_rw.add_argument("--verify", action="store_true")
+    p_rw.set_defaults(func=_cmd_rewrite)
+
+    p_flow = sub.add_parser("flow", help="run an optimization flow")
+    p_flow.add_argument("input")
+    p_flow.add_argument("-o", "--output")
+    p_flow.add_argument(
+        "--script", default="resyn2", choices=sorted(FLOW_SCRIPTS)
+    )
+    p_flow.add_argument("--workers", type=int, default=8)
+    p_flow.add_argument("--verify", action="store_true")
+    p_flow.set_defaults(func=_cmd_flow)
+
+    p_cec = sub.add_parser("cec", help="equivalence check two circuits")
+    p_cec.add_argument("circuit_a")
+    p_cec.add_argument("circuit_b")
+    p_cec.set_defaults(func=_cmd_cec)
+
+    p_gen = sub.add_parser("gen", help="generate a benchmark circuit")
+    p_gen.add_argument("name")
+    p_gen.add_argument("-o", "--output", required=True)
+    p_gen.add_argument(
+        "--base", action="store_true", help="skip the size doubling"
+    )
+    p_gen.set_defaults(func=_cmd_gen)
+
+    p_shell = sub.add_parser("shell", help="interactive ABC-style shell")
+    p_shell.set_defaults(func=_cmd_shell)
+    return parser
+
+
+def _cmd_shell(args: argparse.Namespace) -> int:
+    from .shell import run_shell
+
+    return run_shell()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

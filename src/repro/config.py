@@ -1,0 +1,91 @@
+"""Rewriting configuration and the paper's parameter presets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Optional
+
+from .errors import ConfigError
+from .npn.classes import class_set
+
+
+@dataclass(frozen=True)
+class RewriteConfig:
+    """Parameters shared by every rewriting engine.
+
+    The paper's Table 3 presets:
+
+    * **P1** — 8 cuts, 5 structures per class, 2 passes (what the GPU
+      works DAC'22/TCAD'23 use, except they evaluate all 222 classes
+      while DACPara-P1 can only use the 134 practical ones).
+    * **P2** — the ICCAD'18 configuration: 134 classes, unlimited cuts
+      and structures, a single pass.
+    """
+
+    cut_size: int = 4
+    max_cuts: Optional[int] = 12
+    max_structs: Optional[int] = 8
+    npn_classes: str = "common134"
+    passes: int = 1
+    zero_gain: bool = False
+    preserve_level: bool = False
+    workers: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cut_size != 4:
+            raise ConfigError("only 4-input cuts are supported (as in the paper)")
+        if self.passes < 1:
+            raise ConfigError("passes must be >= 1")
+        if self.workers < 1:
+            raise ConfigError("workers must be >= 1")
+        if self.max_cuts is not None and self.max_cuts < 1:
+            raise ConfigError("max_cuts must be positive or None")
+        if self.max_structs is not None and self.max_structs < 1:
+            raise ConfigError("max_structs must be positive or None")
+        class_set(self.npn_classes)  # validates the name
+
+    @property
+    def allowed_classes(self) -> FrozenSet[int]:
+        return class_set(self.npn_classes)
+
+    def with_workers(self, workers: int) -> "RewriteConfig":
+        return replace(self, workers=workers)
+
+
+def abc_rewrite_config() -> RewriteConfig:
+    """The ABC ``rewrite`` operator model: 134 classes, serial."""
+    return RewriteConfig(npn_classes="common134", workers=1)
+
+
+def iccad18_config(workers: int = 40) -> RewriteConfig:
+    """The ICCAD'18 fused-operator parallel configuration."""
+    return RewriteConfig(npn_classes="common134", workers=workers)
+
+
+def dacpara_config(workers: int = 40) -> RewriteConfig:
+    """DACPara default (matches P2 quality settings)."""
+    return RewriteConfig(npn_classes="common134", workers=workers)
+
+
+def dacpara_p1_config(workers: int = 40) -> RewriteConfig:
+    """Paper parameter P1: 8 cuts, 5 structures, 2 passes, 134 classes."""
+    return RewriteConfig(
+        npn_classes="common134", max_cuts=8, max_structs=5, passes=2, workers=workers
+    )
+
+
+def dacpara_p2_config(workers: int = 40) -> RewriteConfig:
+    """Paper parameter P2: ICCAD'18-equivalent settings, 1 pass."""
+    return RewriteConfig(
+        npn_classes="common134", max_cuts=None, max_structs=None, passes=1,
+        workers=workers,
+    )
+
+
+def gpu_config(workers: int = 9216) -> RewriteConfig:
+    """DAC'22 / TCAD'23 model: 222 classes, 8 cuts, 5 structures,
+    2 passes, massive parallelism."""
+    return RewriteConfig(
+        npn_classes="all222", max_cuts=8, max_structs=5, passes=2, workers=workers
+    )

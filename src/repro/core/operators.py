@@ -1,0 +1,153 @@
+"""The three DACPara operators (Sections 4.2-4.4).
+
+Each operator is a cautious Galois generator (see
+:mod:`repro.galois.activity`).  The division of labour is the paper's
+central idea:
+
+* **enumeration** — short, locks the node and its cut region;
+* **evaluation** — the >90 %-of-runtime stage, *entirely lock-free*
+  (reads the graph, writes only its own ``prepInfo`` slot);
+* **replacement** — validates the stored result against the latest
+  graph, then holds locks only for the short splice-in.
+
+Shared mutable state lives in :class:`StageContext`; executors
+guarantee that generator resumptions are serialized (simulated
+executor: activities run atomically at pop; threaded executor: a
+global commit mutex wraps every resumption), so plain Python
+containers are safe here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Iterable, List, Set
+
+from ..aig import Aig, mffc
+from ..cuts import CutManager
+from ..galois import Phase
+from ..library import StructureLibrary
+from ..rewrite.base import WorkMeter, apply_candidate, find_best_candidate
+from ..config import RewriteConfig
+from .prep_info import PrepInfo
+from .validation import ValidationStats, validate_candidate
+
+
+@dataclass
+class StageContext:
+    """Everything the three operators share for one circuit run."""
+
+    aig: Aig
+    cutman: CutManager
+    library: StructureLibrary
+    config: RewriteConfig
+    prep_info: PrepInfo = field(default_factory=PrepInfo)
+    validation_stats: ValidationStats = field(default_factory=ValidationStats)
+    meter: WorkMeter = field(default_factory=WorkMeter)
+    replacements: int = 0
+    validation_failures: int = 0
+    nodes_saved: int = 0
+    validate: bool = True  # False = ablation: trust static prepInfo blindly
+
+    def reset_round(self) -> None:
+        self.prep_info = PrepInfo()
+
+
+def make_enum_operator(ctx: StageContext) -> Callable[[int], Generator[Phase, None, None]]:
+    """Parallel cut enumeration (Section 4.2).
+
+    Locks the node and the leaves its cuts reach: transitive-fanin
+    relations inside a drifted worklist would otherwise let two
+    activities race on the shared recursive enumeration.  The stage is
+    cheap, so these conflicts cost little (as the paper argues).
+    """
+
+    def operator(root: int) -> Generator[Phase, None, None]:
+        aig = ctx.aig
+        if aig.is_dead(root):
+            return
+        before = ctx.cutman.work
+        ctx.cutman.fresh_cuts(root)
+        cost = ctx.cutman.work - before + 1
+        # Lock the node plus the nodes whose cut sets the recursion had
+        # to compute: only TFI/TFO-related worklist neighbours can race
+        # on those shared entries, so conflicts here are rare and cheap
+        # — exactly the paper's Section 4.2 argument.
+        region: Set[int] = {root}
+        region.update(ctx.cutman.last_computed)
+        yield Phase(locks=region, cost=cost)
+
+    return operator
+
+
+def make_eval_operator(ctx: StageContext) -> Callable[[int], Generator[Phase, None, None]]:
+    """Parallel evaluation (Section 4.3) — no locks at all.
+
+    Uniqueness of evaluation data is guaranteed by construction: MFFC
+    membership is computed against thread-local shadow reference counts
+    (never the shared ones), library structures are immutable, and the
+    strash probing is read-only.  The result lands in the activity's
+    own ``prepInfo`` slot.
+    """
+
+    def operator(root: int) -> Generator[Phase, None, None]:
+        aig = ctx.aig
+        if aig.is_dead(root):
+            return
+        meter = WorkMeter()
+        candidate = find_best_candidate(
+            aig, root, ctx.cutman, ctx.library, ctx.config, meter
+        )
+        ctx.meter.add(meter.units)
+        yield Phase(locks=(), cost=meter.units + 1)
+        ctx.prep_info.store(root, candidate)
+
+    return operator
+
+
+def make_replace_operator(ctx: StageContext) -> Callable[[int], Generator[Phase, None, None]]:
+    """Parallel replacement (Section 4.4).
+
+    Locks the node, its fanouts, its MFFC and the cut leaves — the
+    nodes the splice touches — then, with everything held, validates
+    the stored result on the *latest* graph and applies it only if the
+    gain is still positive.
+    """
+
+    def operator(root: int) -> Generator[Phase, None, None]:
+        aig = ctx.aig
+        candidate = ctx.prep_info.get(root)
+        if candidate is None or aig.is_dead(root):
+            return
+        region: Set[int] = {root}
+        region.update(aig.fanouts(root))
+        region.update(candidate.cut.leaves)
+        region.update(mffc(aig, root, candidate.cut.leaves))
+        cost = 2 + candidate.structure.num_ands + candidate.cut.size
+        yield Phase(locks=region, cost=cost)
+        if ctx.validate:
+            meter = WorkMeter()
+            fresh = validate_candidate(
+                aig, ctx.cutman, candidate, ctx.config, meter, ctx.validation_stats
+            )
+            ctx.meter.add(meter.units)
+            if fresh is None:
+                ctx.validation_failures += 1
+                return
+        else:
+            # Ablation mode: apply the stored result without dynamic
+            # re-validation (only the structural-liveness minimum that
+            # keeps the graph sound) — i.e. static global information.
+            from ..cuts import cut_is_stamp_alive
+
+            if (
+                aig.life_stamp(root) != candidate.root_life
+                or not cut_is_stamp_alive(aig, candidate.cut)
+            ):
+                ctx.validation_failures += 1
+                return
+            fresh = candidate
+        saved = apply_candidate(aig, fresh)
+        ctx.replacements += 1
+        ctx.nodes_saved += saved
+
+    return operator

@@ -1,0 +1,35 @@
+"""Level-based node division (the paper's ``nodeDividing``).
+
+Nodes are grouped by their level — depth from the PIs — and the groups
+are processed in increasing level order.  At division time the nodes of
+one group have no transitive fanin/fanout relations with each other
+(they are all at the same depth), which is what justifies processing a
+group in parallel; rewriting earlier groups can perturb levels, so
+later groups may *drift* into containing related nodes — the situation
+Sections 4.2 and 4.4 of the paper deal with.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..aig import Aig
+
+
+def node_dividing(aig: Aig) -> List[List[int]]:
+    """Partition live AND nodes into per-level worklists.
+
+    ``result[i]`` holds the nodes whose level was ``i + 1`` at division
+    time (level-0 nodes are PIs, which are never rewritten — the paper
+    seeds ``Worklists[0]`` with the PIs only because their cuts are
+    trivially themselves; we pre-seed those cuts directly instead).
+    """
+    buckets: List[List[int]] = []
+    for var in aig.ands():
+        lev = aig.level(var)
+        while len(buckets) < lev:
+            buckets.append([])
+        buckets[lev - 1].append(var)
+    for bucket in buckets:
+        bucket.sort()
+    return buckets

@@ -1,0 +1,48 @@
+"""The ``prepInfo`` container of Algorithm 1.
+
+Stores, per node id, the pre-replacement information produced by the
+evaluation operator: the chosen cut, its NPN class, the witness
+transform, the equivalent structure and the evaluated gain.  Keyed by
+node id ("matching the subscript with the ID of the node"), sized like
+the AIG, and written by concurrent evaluation activities at disjoint
+indices — which is why the lock-free evaluation stage is safe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..rewrite.base import Candidate
+
+
+class PrepInfo:
+    """Per-node evaluation results for one worklist round."""
+
+    def __init__(self) -> None:
+        self._slots: Dict[int, Candidate] = {}
+        self.stored = 0
+        self.skipped = 0
+
+    def store(self, root: int, candidate: Optional[Candidate]) -> None:
+        """Record the evaluation outcome for ``root`` (None = no gain)."""
+        if candidate is None:
+            self.skipped += 1
+            self._slots.pop(root, None)
+        else:
+            self.stored += 1
+            self._slots[root] = candidate
+
+    def get(self, root: int) -> Optional[Candidate]:
+        return self._slots.get(root)
+
+    def pop(self, root: int) -> Optional[Candidate]:
+        return self._slots.pop(root, None)
+
+    def clear(self) -> None:
+        self._slots.clear()
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def items(self) -> Iterator[Tuple[int, Candidate]]:
+        return iter(sorted(self._slots.items()))

@@ -1,0 +1,125 @@
+"""Replacement-time validation on dynamic global information.
+
+This is Section 4.4 of the paper.  A stored evaluation result may be
+stale by the time its node is replaced (other nodes in the same
+worklist committed first).  Before any graph change:
+
+1. **Cut correctness** — if every leaf is alive in the same incarnation
+   (life stamp unchanged), Theorem 1 plus Theorems 1-2 of NovelRewrite
+   guarantee the stored cut is still a functional cut of the node: go
+   straight to re-evaluation.
+2. **Deleted leaves** — a leaf that is currently dead kills the result.
+3. **Deleted-and-reused leaves** (Fig. 3) — the leaf ids are all alive
+   but some belong to *new* nodes.  Re-enumerate the node's cuts on the
+   latest graph and look for a cut with exactly the stored leaf ids; if
+   found, the stored structure is usable only if the new cut's NPN
+   class matches the stored class (same truth table up to NPN).
+4. **Gain effectiveness** — in every surviving case the gain is
+   re-evaluated on the *latest* AIG; the replacement proceeds only if
+   it is still positive ("each replacement must obtain a positive gain
+   on the latest AIG").
+
+A cheap anti-cycle guard rejects candidates whose leaves have migrated
+into the node's transitive fanout (possible only through pathological
+interleavings, but fatal if unchecked).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..aig import Aig, is_in_tfi
+from ..cuts import CutManager, cut_is_stamp_alive, cut_leaves_alive
+from ..rewrite.base import Candidate, WorkMeter, cut_tt4, evaluate_candidate
+from ..npn import npn_canon
+from ..config import RewriteConfig
+
+
+class ValidationStats:
+    """Counters for the replacement operator's decisions."""
+
+    __slots__ = ("fast_path", "reenumerated", "matched_after_reuse",
+                 "dead_leaf", "no_match", "class_mismatch", "gain_lost",
+                 "cycle_guard")
+
+    def __init__(self) -> None:
+        self.fast_path = 0
+        self.reenumerated = 0
+        self.matched_after_reuse = 0
+        self.dead_leaf = 0
+        self.no_match = 0
+        self.class_mismatch = 0
+        self.gain_lost = 0
+        self.cycle_guard = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+def validate_candidate(
+    aig: Aig,
+    cutman: CutManager,
+    candidate: Candidate,
+    config: RewriteConfig,
+    meter: Optional[WorkMeter] = None,
+    stats: Optional[ValidationStats] = None,
+) -> Optional[Candidate]:
+    """Validate (and refresh) a stored candidate against the latest
+    graph.  Returns an updated candidate safe to apply, or None."""
+    stats = stats if stats is not None else ValidationStats()
+    root = candidate.root
+    if aig.is_dead(root) or aig.life_stamp(root) != candidate.root_life:
+        # Root deleted — or deleted and its id recycled for a different
+        # node (the Fig. 3 hazard on the root side).
+        return None
+
+    cut = candidate.cut
+    if cut_is_stamp_alive(aig, cut):
+        stats.fast_path += 1
+        fresh = candidate
+    elif not cut_leaves_alive(aig, cut):
+        stats.dead_leaf += 1
+        return None
+    else:
+        # Leaves alive but at least one id was deleted and reused.
+        stats.reenumerated += 1
+        if meter is not None:
+            meter.add(2)
+        match = None
+        for c in cutman.fresh_cuts(root):
+            if c.leaves == cut.leaves:
+                match = c
+                break
+        if match is None:
+            stats.no_match += 1
+            return None
+        canon, transform = npn_canon(cut_tt4(match))
+        if canon != candidate.canon_tt:
+            stats.class_mismatch += 1
+            return None
+        stats.matched_after_reuse += 1
+        fresh = replace(candidate, cut=match, transform=transform)
+
+    # Anti-cycle guard: no leaf may now depend on the root.
+    root_level = aig.level(root)
+    for leaf in fresh.cut.leaves:
+        if aig.level(leaf) >= root_level and is_in_tfi(aig, root, leaf):
+            stats.cycle_guard += 1
+            return None
+
+    evaluation = evaluate_candidate(
+        aig, root, fresh.cut, fresh.structure, fresh.transform, meter
+    )
+    if evaluation is None:
+        stats.gain_lost += 1
+        return None
+    if config.preserve_level and evaluation.new_root_level > aig.level(root):
+        stats.gain_lost += 1
+        return None
+    if evaluation.gain > 0 or (config.zero_gain and evaluation.gain == 0):
+        return replace(
+            fresh, gain=evaluation.gain, new_root_level=evaluation.new_root_level
+        )
+    stats.gain_lost += 1
+    return None

@@ -1,0 +1,169 @@
+"""K-feasible cut enumeration with a stamp-validated cache.
+
+This is the paper's *Cut Manager*.  Cut sets are computed bottom-up by
+merging fanin cut sets (the classic cut enumeration of Mishchenko et
+al.) and cached per node.  A cache entry is keyed to the node's stamp,
+so restructured or reused nodes are transparently recomputed; stale
+fanin *cuts* (cuts whose own leaves have died) are filtered out at
+merge time, which keeps the inductive validity invariant of
+:mod:`repro.cuts.cut` intact.
+
+The manager also counts merge work (``work`` attribute): the simulated
+parallel executor charges activities by this measure, which is what
+makes the reproduced speedups data-driven rather than hand-tuned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..aig import Aig
+from ..aig.literals import lit_compl, lit_var
+from ..errors import CutError
+from ..npn.truth import expand, full_mask
+from .cut import Cut, cut_is_stamp_alive, trivial_cut
+
+DEFAULT_MAX_CUTS = 12
+
+
+class CutManager:
+    """Enumerates and caches k-feasible cuts of an AIG."""
+
+    def __init__(self, aig: Aig, k: int = 4, max_cuts: Optional[int] = DEFAULT_MAX_CUTS):
+        if k < 2 or k > 4:
+            raise CutError(f"cut size {k} unsupported (needs 2..4)")
+        self.aig = aig
+        self.k = k
+        self.max_cuts = max_cuts
+        self.work = 0  # merge operations performed (cost model input)
+        # Vars whose cut sets the most recent cuts() call had to compute
+        # (used by operators as the lock region of the shared recursion).
+        self.last_computed: List[int] = []
+        self._cache: Dict[int, Tuple[int, List[Cut]]] = {}
+
+    # ------------------------------------------------------------------
+
+    def cuts(self, var: int) -> List[Cut]:
+        """Cut set of ``var`` on the current graph (cached)."""
+        aig = self.aig
+        if aig.is_dead(var):
+            raise CutError(f"cut enumeration on dead node {var}")
+        self.last_computed = []
+        entry = self._cache.get(var)
+        if entry is not None and entry[0] == aig.stamp(var):
+            return entry[1]
+        # Iterative post-order resolution (circuits are deep).
+        stack = [var]
+        while stack:
+            v = stack[-1]
+            entry = self._cache.get(v)
+            if entry is not None and entry[0] == aig.stamp(v):
+                stack.pop()
+                continue
+            if not aig.is_and(v):
+                self._cache[v] = (aig.stamp(v), [trivial_cut(aig, v)])
+                stack.pop()
+                continue
+            f0v = lit_var(aig.fanin0(v))
+            f1v = lit_var(aig.fanin1(v))
+            pending = False
+            for fv in (f0v, f1v):
+                fentry = self._cache.get(fv)
+                if fentry is None or fentry[0] != aig.stamp(fv):
+                    stack.append(fv)
+                    pending = True
+            if pending:
+                continue
+            self._cache[v] = (aig.stamp(v), self._merge_node(v))
+            self.last_computed.append(v)
+            stack.pop()
+        return self._cache[var][1]
+
+    def fresh_cuts(self, var: int) -> List[Cut]:
+        """Cut set with stamp-dead cuts purged: if any cached cut has a
+        stale leaf, the node's cuts are re-merged from the (filtered)
+        fanin sets."""
+        cuts = self.cuts(var)
+        if all(cut_is_stamp_alive(self.aig, c) for c in cuts):
+            return cuts
+        self.invalidate(var)
+        return self.cuts(var)
+
+    def invalidate(self, var: int) -> None:
+        """Drop the cache entry for one node."""
+        self._cache.pop(var, None)
+
+    def invalidate_tfo(self, var: int) -> int:
+        """Recursively drop cache entries of ``var`` and its transitive
+        fanout — the paper's "previous enumeration results ... of all
+        transitive fanouts for each deleted node will be recursively
+        cleared".  Returns the number of entries dropped."""
+        dropped = 0
+        stack = [var]
+        seen = set()
+        while stack:
+            v = stack.pop()
+            if v in seen:
+                continue
+            seen.add(v)
+            if self._cache.pop(v, None) is not None:
+                dropped += 1
+            if not self.aig.is_dead(v):
+                stack.extend(self.aig.fanouts(v))
+        return dropped
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+
+    def _merge_node(self, v: int) -> List[Cut]:
+        """Merge the fanin cut sets of AND node ``v``."""
+        aig = self.aig
+        f0, f1 = aig.fanin0(v), aig.fanin1(v)
+        c0_all = self._live_cuts(lit_var(f0))
+        c1_all = self._live_cuts(lit_var(f1))
+        comp0, comp1 = lit_compl(f0), lit_compl(f1)
+        k = self.k
+        results: List[Cut] = []
+        for c0 in c0_all:
+            for c1 in c1_all:
+                self.work += 1
+                union = sorted(set(c0.leaves) | set(c1.leaves))
+                if len(union) > k:
+                    continue
+                dst = tuple(union)
+                t0 = expand(c0.tt, c0.leaves, dst)
+                t1 = expand(c1.tt, c1.leaves, dst)
+                mask = full_mask(len(dst))
+                if comp0:
+                    t0 ^= mask
+                if comp1:
+                    t1 ^= mask
+                tt = t0 & t1
+                stamps = tuple(aig.life_stamp(l) for l in dst)
+                self._add_filtered(results, Cut(dst, tt, stamps))
+        results.sort(key=lambda c: (-c.size, c.leaves))
+        if self.max_cuts is not None and len(results) > self.max_cuts:
+            results = results[: self.max_cuts]
+        results.append(trivial_cut(aig, v))
+        return results
+
+    def _live_cuts(self, var: int) -> List[Cut]:
+        entry = self._cache[var]
+        live = [c for c in entry[1] if cut_is_stamp_alive(self.aig, c)]
+        return live if live else [trivial_cut(self.aig, var)]
+
+    @staticmethod
+    def _add_filtered(results: List[Cut], cut: Cut) -> None:
+        """Insert with dominance filtering (no duplicate/superset cuts)."""
+        sign = cut.sign
+        keep: List[Cut] = []
+        for existing in results:
+            if (existing.sign & ~sign) == 0 and existing.dominates(cut):
+                return  # an existing subset cut dominates the new one
+            if (sign & ~existing.sign) == 0 and cut.dominates(existing):
+                continue  # new cut dominates (drop the existing superset)
+            keep.append(existing)
+        keep.append(cut)
+        results[:] = keep

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class AigError(ReproError):
+    """Structural error in an AIG (bad literal, dead node access, ...)."""
+
+
+class AigerFormatError(ReproError):
+    """Malformed AIGER input."""
+
+
+class CutError(ReproError):
+    """Invalid cut operation (oversized merge, unknown leaf, ...)."""
+
+
+class LibraryError(ReproError):
+    """Structure library failure (no structure for a class, bad DAG, ...)."""
+
+
+class SatError(ReproError):
+    """SAT solver misuse (bad literal, empty clause insertion, ...)."""
+
+
+class SchedulerError(ReproError):
+    """Galois-like runtime misuse (nested activities, bad lock set, ...)."""
+
+
+class ConfigError(ReproError):
+    """Invalid rewriting configuration."""

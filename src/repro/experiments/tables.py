@@ -1,0 +1,119 @@
+"""Table construction and formatting for the paper's evaluation.
+
+Each ``tableN_*`` function returns ``(headers, rows)`` of plain
+strings, plus helpers to compute the paper's "Normalized Mean" lines
+(geometric mean of per-benchmark ratios against the DACPara column).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from ..aig import Aig
+from .runner import ExperimentRow
+from .timing import to_seconds
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width ASCII table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    def fmt(row):
+        return "  ".join(str(c).rjust(w) for c, w in zip(row, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def geomean(ratios: Sequence[float]) -> float:
+    vals = [r for r in ratios if r > 0]
+    if not vals:
+        return 1.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def table1_rows(suite: Sequence[Aig]) -> Tuple[List[str], List[List[str]]]:
+    """The paper's Table 1: benchmark detail."""
+    headers = ["Benchmark", "PIs", "POs", "Area", "Delay", "Source"]
+    rows = []
+    for aig in suite:
+        source = "MtM-like" if "xd" not in aig.name else "Arith+Ctrl (doubled)"
+        rows.append(
+            [aig.name, aig.num_pis, aig.num_pos, aig.num_ands, aig.max_level(), source]
+        )
+    return headers, rows
+
+
+def _by_benchmark(rows: Sequence[ExperimentRow]) -> Dict[str, Dict[str, ExperimentRow]]:
+    table: Dict[str, Dict[str, ExperimentRow]] = {}
+    for row in rows:
+        table.setdefault(row.benchmark, {})[row.engine] = row
+    return table
+
+
+def comparison_table(
+    rows: Sequence[ExperimentRow],
+    engines: Sequence[str],
+    baseline: str,
+) -> Tuple[List[str], List[List[str]]]:
+    """Per-benchmark Time/AreaReduction/Delay columns per engine, with a
+    final Normalized-Mean row of ratios against ``baseline`` (the
+    paper's normalization: baseline column = 1)."""
+    grouped = _by_benchmark(rows)
+    headers = ["Benchmark"]
+    for engine in engines:
+        headers += [f"{engine} T(s)", f"{engine} AreaRed", f"{engine} D"]
+    out: List[List[str]] = []
+    ratios: Dict[str, Dict[str, List[float]]] = {
+        e: {"time": [], "area": [], "delay": []} for e in engines
+    }
+    for bench, per_engine in grouped.items():
+        line: List[str] = [bench]
+        base = per_engine.get(baseline)
+        for engine in engines:
+            row = per_engine.get(engine)
+            if row is None:
+                line += ["-", "-", "-"]
+                continue
+            res = row.result
+            line += [
+                f"{to_seconds(res.makespan_units):.2f}",
+                str(res.area_reduction),
+                str(res.delay_after),
+            ]
+            if base is not None and base.result.makespan_units > 0:
+                ratios[engine]["time"].append(
+                    res.makespan_units / base.result.makespan_units
+                )
+                if base.result.area_reduction > 0 and res.area_reduction > 0:
+                    ratios[engine]["area"].append(
+                        res.area_reduction / base.result.area_reduction
+                    )
+                if base.result.delay_after > 0 and res.delay_after > 0:
+                    ratios[engine]["delay"].append(
+                        res.delay_after / base.result.delay_after
+                    )
+        out.append(line)
+    mean_line = ["Normalized Mean"]
+    for engine in engines:
+        mean_line += [
+            f"{geomean(ratios[engine]['time']):.4f}",
+            f"{geomean(ratios[engine]['area']):.4f}",
+            f"{geomean(ratios[engine]['delay']):.4f}",
+        ]
+    out.append(mean_line)
+    return headers, out
+
+
+def speedup_summary(rows: Sequence[ExperimentRow], baseline: str, target: str) -> float:
+    """Geometric-mean speedup of ``target`` over ``baseline``."""
+    grouped = _by_benchmark(rows)
+    ratios = []
+    for per_engine in grouped.values():
+        b, t = per_engine.get(baseline), per_engine.get(target)
+        if b and t and t.result.makespan_units > 0:
+            ratios.append(b.result.makespan_units / t.result.makespan_units)
+    return geomean(ratios)

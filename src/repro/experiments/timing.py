@@ -1,0 +1,19 @@
+"""Converting simulated work units into reported time.
+
+All engines account their effort in abstract *work units* (cut merges,
+structure evaluations, splice steps) and the simulated executor turns
+those into a parallel makespan.  For table readability the harness
+also prints pseudo-seconds via a single calibration constant — chosen
+so the serial engine's throughput loosely matches ABC ``rewrite`` on a
+circa-2020 CPU core.  All *ratios* in the tables (the numbers the
+paper's claims are about) are independent of this constant.
+"""
+
+from __future__ import annotations
+
+UNITS_PER_SECOND = 50_000
+
+
+def to_seconds(units: int) -> float:
+    """Convert simulated work units into calibrated pseudo-seconds."""
+    return units / UNITS_PER_SECOND

@@ -1,0 +1,28 @@
+"""Galois-like parallel runtime: cautious operators, exclusive locks,
+abort-and-retry, simulated and threaded executors."""
+
+from .activity import Operator, Phase
+from .simsched import SerialExecutor, SimulatedExecutor
+from .stats import ExecutionStats, StageStats
+from .threaded import ThreadedExecutor
+
+__all__ = [
+    "Operator",
+    "Phase",
+    "SerialExecutor",
+    "SimulatedExecutor",
+    "ExecutionStats",
+    "StageStats",
+    "ThreadedExecutor",
+]
+
+
+def make_executor(kind: str, workers: int):
+    """Factory: ``'simulated'``, ``'threaded'`` or ``'serial'``."""
+    if kind == "simulated":
+        return SimulatedExecutor(workers)
+    if kind == "threaded":
+        return ThreadedExecutor(workers)
+    if kind == "serial":
+        return SerialExecutor()
+    raise ValueError(f"unknown executor kind {kind!r}")

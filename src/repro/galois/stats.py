@@ -1,0 +1,62 @@
+"""Execution statistics for the Galois-like runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class StageStats:
+    """One executor.run() invocation (one operator over one worklist)."""
+
+    name: str
+    activities: int = 0
+    committed: int = 0
+    conflicts: int = 0
+    useful_units: int = 0
+    aborted_units: int = 0
+    start_time: int = 0
+    end_time: int = 0
+
+    @property
+    def makespan(self) -> int:
+        return self.end_time - self.start_time
+
+
+@dataclass
+class ExecutionStats:
+    """Cumulative statistics across all stages of a parallel run."""
+
+    workers: int = 1
+    stages: List[StageStats] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> int:
+        return max((s.end_time for s in self.stages), default=0)
+
+    @property
+    def total_useful_units(self) -> int:
+        return sum(s.useful_units for s in self.stages)
+
+    @property
+    def total_aborted_units(self) -> int:
+        return sum(s.aborted_units for s in self.stages)
+
+    @property
+    def total_conflicts(self) -> int:
+        return sum(s.conflicts for s in self.stages)
+
+    def units_by_stage_name(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for s in self.stages:
+            out[s.name] = out.get(s.name, 0) + s.useful_units
+        return out
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Useful work / (workers × makespan)."""
+        span = self.makespan
+        if span == 0 or self.workers == 0:
+            return 1.0
+        return self.total_useful_units / (self.workers * span)

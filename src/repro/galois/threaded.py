@@ -1,0 +1,133 @@
+"""Real-thread executor with Galois abort-and-retry semantics.
+
+Exists to demonstrate that the operator protocol is genuinely safe
+under preemptive interleaving — it runs the same generators as the
+simulated executor with real ``threading`` workers and a shared lock
+registry.  Wall-clock speedup is *not* the point (the GIL serializes
+pure-Python work; DESIGN.md documents this substitution); the tests
+use it to show results and graph invariants are preserved under real
+concurrency.
+
+Two safety layers:
+
+* per-key exclusive locks with abort-on-conflict (the Galois model);
+* one global commit mutex around the final generator resumption,
+  because the shared graph's Python dict/list internals are not
+  safe for concurrent *mutation* (reads are).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import List, Optional, Sequence
+
+from ..errors import SchedulerError
+from .activity import Operator, Phase
+from .stats import ExecutionStats, StageStats
+
+MAX_RETRIES = 10_000
+
+
+class ThreadedExecutor:
+    """Pool of real threads running cautious operators."""
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise SchedulerError(f"need at least one worker, got {workers}")
+        self.workers = workers
+        self.now = 0
+        self.stats = ExecutionStats(workers=workers)
+        self._registry_mutex = threading.Lock()
+        self._held: dict = {}  # lock key -> owner thread id
+        self._commit_mutex = threading.Lock()
+
+    def run(self, name: str, items: Sequence, operator: Operator) -> StageStats:
+        """Execute ``operator(item)`` on real threads; returns stats."""
+        stage = StageStats(name=name, start_time=self.now, end_time=self.now)
+        stage.activities = len(items)
+        queue = deque((item, 0) for item in items)
+        queue_mutex = threading.Lock()
+        stats_mutex = threading.Lock()
+        errors: List[BaseException] = []
+
+        def worker() -> None:
+            while True:
+                with queue_mutex:
+                    if not queue:
+                        return
+                    item, attempts = queue.popleft()
+                me = threading.get_ident()
+                mine: List[object] = []
+                gen = operator(item)
+                conflicted = False
+                acc = 0
+                try:
+                    phases = iter(gen)
+                    while True:
+                        # The final next() runs the mutation block; guard it.
+                        with self._commit_mutex:
+                            try:
+                                phase = next(phases)
+                            except StopIteration:
+                                break
+                        if not self._try_acquire(phase.locks, me, mine):
+                            conflicted = True
+                            break
+                        acc += phase.cost
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+                    return
+                finally:
+                    if conflicted:
+                        gen.close()
+                    self._release(mine)
+                with stats_mutex:
+                    if conflicted:
+                        stage.conflicts += 1
+                        stage.aborted_units += acc
+                    else:
+                        stage.committed += 1
+                        stage.useful_units += acc
+                if conflicted:
+                    if attempts + 1 > MAX_RETRIES:
+                        errors.append(
+                            SchedulerError("threaded activity retried too often")
+                        )
+                        return
+                    with queue_mutex:
+                        queue.append((item, attempts + 1))
+
+        threads = [threading.Thread(target=worker) for _ in range(self.workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+        self.stats.stages.append(stage)
+        return stage
+
+    def _try_acquire(self, locks, me: int, mine: List[object]) -> bool:
+        if not locks:
+            return True
+        with self._registry_mutex:
+            for key in locks:
+                owner = self._held.get(key)
+                if owner is not None and owner != me:
+                    return False
+            for key in locks:
+                if key not in self._held:
+                    self._held[key] = me
+                    mine.append(key)
+        return True
+
+    def _release(self, mine: List[object]) -> None:
+        if not mine:
+            return
+        with self._registry_mutex:
+            for key in mine:
+                self._held.pop(key, None)
+            mine.clear()
+
+

@@ -1,0 +1,32 @@
+"""Replacement-structure library (the NST and its generators)."""
+
+from .isop import Cube, cover_tt, cube_tt, isop
+from .factor import factor_to_structure
+from .nst import DEFAULT_MAX_STRUCTS, StructureLibrary, get_library
+from .structures import (
+    FIRST_INTERNAL_VAR,
+    NUM_INPUTS,
+    Structure,
+    StructureBuilder,
+    input_lit,
+)
+from .synthesis import ENUM_BUDGET, candidates, enumeration_table
+
+__all__ = [
+    "Cube",
+    "cover_tt",
+    "cube_tt",
+    "isop",
+    "factor_to_structure",
+    "DEFAULT_MAX_STRUCTS",
+    "StructureLibrary",
+    "get_library",
+    "FIRST_INTERNAL_VAR",
+    "NUM_INPUTS",
+    "Structure",
+    "StructureBuilder",
+    "input_lit",
+    "ENUM_BUDGET",
+    "candidates",
+    "enumeration_table",
+]

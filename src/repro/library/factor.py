@@ -1,0 +1,113 @@
+"""Algebraic factoring of cube covers into AIG structures.
+
+Implements literal-division quick factoring: repeatedly divide the
+cover by its most frequent literal, producing a factored form that is
+then emitted through a :class:`~repro.library.structures.StructureBuilder`
+(which strashes and folds, so common subexpressions merge).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .isop import Cube
+from .structures import Structure, StructureBuilder
+
+
+def factor_to_structure(cubes: List[Cube], out_compl: bool = False) -> Structure:
+    """Build a structure computing the OR of ``cubes`` (optionally
+    complemented at the output)."""
+    builder = StructureBuilder()
+    lit = factor_with_builder(builder, [c for c in cubes], num_vars=4)
+    return builder.finish(lit ^ int(out_compl))
+
+
+def factor_with_builder(builder, cubes: List[Cube], num_vars: int) -> int:
+    """Factor a cover through any builder exposing ``input(i, compl)``,
+    ``and_``, ``or_``, ``const0`` and ``const1`` — used both for the
+    4-input structure library and for large-cut refactoring directly
+    into an AIG."""
+    return _factor(builder, [c for c in cubes], num_vars)
+
+
+def _literal_counts(cubes: List[Cube]) -> Tuple[int, int, int]:
+    """Most frequent literal across cubes: (count, var, phase)."""
+    best = (0, -1, 0)
+    counts = {}
+    for pos, neg in cubes:
+        m = pos
+        while m:
+            v = (m & -m).bit_length() - 1
+            m &= m - 1
+            counts[(v, 1)] = counts.get((v, 1), 0) + 1
+        m = neg
+        while m:
+            v = (m & -m).bit_length() - 1
+            m &= m - 1
+            counts[(v, 0)] = counts.get((v, 0), 0) + 1
+    for (v, phase), c in sorted(counts.items()):
+        if c > best[0]:
+            best = (c, v, phase)
+    return best
+
+
+def _cube_lit(builder: StructureBuilder, var: int, phase: int) -> int:
+    return builder.input(var, compl=(phase == 0))
+
+
+def _and_cube(builder, cube: Cube, num_vars: int) -> int:
+    """Balanced AND over the cube's literals."""
+    pos, neg = cube
+    lits: List[int] = []
+    for v in range(num_vars):
+        if (pos >> v) & 1:
+            lits.append(_cube_lit(builder, v, 1))
+        if (neg >> v) & 1:
+            lits.append(_cube_lit(builder, v, 0))
+    if not lits:
+        return builder.const1
+    while len(lits) > 1:
+        nxt = [
+            builder.and_(lits[i], lits[i + 1]) for i in range(0, len(lits) - 1, 2)
+        ]
+        if len(lits) % 2:
+            nxt.append(lits[-1])
+        lits = nxt
+    return lits[0]
+
+
+def _or_all(builder, lits: List[int]) -> int:
+    if not lits:
+        return builder.const0
+    while len(lits) > 1:
+        nxt = [builder.or_(lits[i], lits[i + 1]) for i in range(0, len(lits) - 1, 2)]
+        if len(lits) % 2:
+            nxt.append(lits[-1])
+        lits = nxt
+    return lits[0]
+
+
+def _factor(builder, cubes: List[Cube], num_vars: int = 4) -> int:
+    if not cubes:
+        return builder.const0
+    if any(cube == (0, 0) for cube in cubes):
+        return builder.const1
+    if len(cubes) == 1:
+        return _and_cube(builder, cubes[0], num_vars)
+    count, var, phase = _literal_counts(cubes)
+    if count < 2:
+        return _or_all(builder, [_and_cube(builder, c, num_vars) for c in cubes])
+    bit = 1 << var
+    quotient: List[Cube] = []
+    remainder: List[Cube] = []
+    for pos, neg in cubes:
+        if phase == 1 and pos & bit:
+            quotient.append((pos & ~bit, neg))
+        elif phase == 0 and neg & bit:
+            quotient.append((pos, neg & ~bit))
+        else:
+            remainder.append((pos, neg))
+    lit = _cube_lit(builder, var, phase)
+    q_lit = builder.and_(lit, _factor(builder, quotient, num_vars))
+    r_lit = _factor(builder, remainder, num_vars)
+    return builder.or_(q_lit, r_lit)

@@ -1,0 +1,82 @@
+"""Irredundant sum-of-products via the Minato-Morreale ISOP algorithm.
+
+Cubes are (positive-literal mask, negative-literal mask) pairs over the
+variable indices of an ``n``-variable truth-table space.  The ISOP of a
+completely-specified function f is computed as ``isop(f, f, n)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import LibraryError
+from ..npn.truth import cofactor, full_mask, support, var_table
+
+Cube = Tuple[int, int]  # (pos_mask, neg_mask)
+
+
+def cube_tt(cube: Cube, n: int) -> int:
+    """Truth table of a single cube."""
+    pos, neg = cube
+    tt = full_mask(n)
+    for v in range(n):
+        if (pos >> v) & 1:
+            tt &= var_table(v, n)
+        if (neg >> v) & 1:
+            tt &= var_table(v, n) ^ full_mask(n)
+    return tt
+
+
+def cover_tt(cubes: List[Cube], n: int) -> int:
+    """Truth table of a cube cover (OR of cubes)."""
+    tt = 0
+    for cube in cubes:
+        tt |= cube_tt(cube, n)
+    return tt
+
+
+def isop(tt: int, n: int) -> List[Cube]:
+    """Irredundant SOP cover of a completely-specified function."""
+    memo: Dict[Tuple[int, int], Tuple[Tuple[Cube, ...], int]] = {}
+    cubes, cover = _isop_rec(tt, tt, n, memo)
+    if cover != tt:
+        raise LibraryError(f"ISOP cover mismatch: {cover:x} != {tt:x}")
+    return list(cubes)
+
+
+def _isop_rec(
+    lower: int,
+    upper: int,
+    n: int,
+    memo: Dict[Tuple[int, int], Tuple[Tuple[Cube, ...], int]],
+) -> Tuple[Tuple[Cube, ...], int]:
+    """Returns (cubes, cover) with lower <= cover <= upper."""
+    if lower == 0:
+        return (), 0
+    if upper == full_mask(n):
+        return (((0, 0),), full_mask(n))
+    key = (lower, upper)
+    hit = memo.get(key)
+    if hit is not None:
+        return hit
+    sup = support(lower, n) + support(upper, n)
+    if not sup:
+        raise LibraryError("ISOP reached constant disagreement")
+    v = max(sup)
+    l0, l1 = cofactor(lower, v, 0, n), cofactor(lower, v, 1, n)
+    u0, u1 = cofactor(upper, v, 0, n), cofactor(upper, v, 1, n)
+    mask = full_mask(n)
+    c0, f0 = _isop_rec(l0 & (u1 ^ mask), u0, n, memo)
+    c1, f1 = _isop_rec(l1 & (u0 ^ mask), u1, n, memo)
+    l_rem = (l0 & (f0 ^ mask)) | (l1 & (f1 ^ mask))
+    cd, fd = _isop_rec(l_rem, u0 & u1, n, memo)
+    x = var_table(v, n)
+    cubes = (
+        tuple((p, q | (1 << v)) for p, q in c0)
+        + tuple((p | (1 << v), q) for p, q in c1)
+        + cd
+    )
+    cover = ((x ^ mask) & f0) | (x & f1) | fd
+    result = (cubes, cover)
+    memo[key] = result
+    return result

@@ -1,0 +1,60 @@
+"""The NPN-structural table (NST).
+
+Maps a canonical NPN representative to its candidate replacement
+structures — the paper's *Structure Manager* plus *NPN Manager* fused
+into one lookup, generated on demand and cached process-wide.
+
+Structures are immutable, so DACPara's evaluation-stage "thread-local
+copies of NPN equivalent structures" are satisfied by sharing: no
+mutation can leak between concurrently evaluating activities.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Iterable, Tuple
+
+from ..npn.canon import npn_canon
+from ..npn.truth import MASK4
+from .structures import Structure
+from .synthesis import candidates
+
+DEFAULT_MAX_STRUCTS = 8
+
+
+class StructureLibrary:
+    """Lazy per-class structure store."""
+
+    def __init__(self, max_structs: int = DEFAULT_MAX_STRUCTS):
+        self.max_structs = max_structs
+        self._table: Dict[int, Tuple[Structure, ...]] = {}
+
+    def structures(self, canon_tt: int) -> Tuple[Structure, ...]:
+        """Candidate structures for a canonical representative,
+        cheapest (fewest ANDs, then shallowest) first."""
+        canon_tt &= MASK4
+        hit = self._table.get(canon_tt)
+        if hit is None:
+            hit = tuple(candidates(canon_tt, self.max_structs))
+            self._table[canon_tt] = hit
+        return hit
+
+    def structures_for_function(self, tt: int) -> Tuple[Structure, ...]:
+        """Convenience: canonicalize then look up."""
+        canon, _ = npn_canon(tt)
+        return self.structures(canon)
+
+    def preload(self, classes: Iterable[int]) -> None:
+        """Force generation for a set of canonical representatives."""
+        for rep in classes:
+            self.structures(rep)
+
+    @property
+    def num_cached_classes(self) -> int:
+        return len(self._table)
+
+
+@lru_cache(maxsize=4)
+def get_library(max_structs: int = DEFAULT_MAX_STRUCTS) -> StructureLibrary:
+    """Process-wide shared library instance."""
+    return StructureLibrary(max_structs=max_structs)

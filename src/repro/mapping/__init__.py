@@ -1,0 +1,21 @@
+"""Technology mapping substrate (k-LUT priority-cut mapper)."""
+
+from .lut import (
+    DEFAULT_K,
+    DEFAULT_PRIORITY,
+    Lut,
+    LutNetwork,
+    MapCut,
+    MappingResult,
+    map_luts,
+)
+
+__all__ = [
+    "DEFAULT_K",
+    "DEFAULT_PRIORITY",
+    "Lut",
+    "LutNetwork",
+    "MapCut",
+    "MappingResult",
+    "map_luts",
+]

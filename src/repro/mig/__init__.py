@@ -1,0 +1,19 @@
+"""Majority-Inverter Graph substrate and depth rewriting."""
+
+from .convert import aig_to_mig, mig_to_aig
+from .graph import Mig
+from .rewrite import MigRewriteResult, rewrite_depth
+from .parallel import parallel_rewrite_depth
+from .xmg import Xmg, aig_to_xmg, detect_xor
+
+__all__ = [
+    "aig_to_mig",
+    "mig_to_aig",
+    "Mig",
+    "MigRewriteResult",
+    "rewrite_depth",
+    "parallel_rewrite_depth",
+    "Xmg",
+    "aig_to_xmg",
+    "detect_xor",
+]

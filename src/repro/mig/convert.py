@@ -1,0 +1,52 @@
+"""AIG ↔ MIG conversion.
+
+An AND is the majority special case ``M(0,a,b)``; a majority gate
+expands to its AND/OR definition in the other direction.  Round trips
+preserve functions (tested), not structure — MIGs are usually shallower
+on arithmetic logic, which is the reason the paper's related work
+discusses them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..aig import Aig
+from ..aig.literals import lit_var as aig_lit_var
+from .graph import Mig, lit_var
+
+
+def aig_to_mig(aig: Aig) -> Mig:
+    """Convert an AIG into a MIG (ANDs become ``M(0,a,b)``)."""
+    mig = Mig()
+    mig.name = aig.name
+    mapping: Dict[int, int] = {0: 0}
+    for pi in aig.pis:
+        mapping[pi] = mig.add_pi()
+    for var in aig.topo_ands():
+        f0, f1 = aig.fanin0(var), aig.fanin1(var)
+        a = mapping[aig_lit_var(f0)] ^ (f0 & 1)
+        b = mapping[aig_lit_var(f1)] ^ (f1 & 1)
+        mapping[var] = mig.and_(a, b)
+    for lit in aig.pos:
+        mig.add_po(mapping[aig_lit_var(lit)] ^ (lit & 1))
+    return mig
+
+
+def mig_to_aig(mig: Mig) -> Aig:
+    """Convert a MIG into an AIG (majorities expand to 4 AND nodes,
+    fewer when an input is constant)."""
+    aig = Aig()
+    aig.name = mig.name
+    mapping: Dict[int, int] = {0: 0}
+    for pi in mig.pis:
+        mapping[pi] = aig.add_pi()
+    for var in mig.topo_majs():
+        a, b, c = mig.fanins(var)
+        la = mapping[lit_var(a)] ^ (a & 1)
+        lb = mapping[lit_var(b)] ^ (b & 1)
+        lc = mapping[lit_var(c)] ^ (c & 1)
+        mapping[var] = aig.maj3_(la, lb, lc)
+    for lit in mig.pos:
+        aig.add_po(mapping[lit_var(lit)] ^ (lit & 1))
+    return aig

@@ -1,0 +1,195 @@
+"""Majority-Inverter Graph (MIG) — the alternative logic representation
+of Amarù et al. (DAC'14) discussed in the paper's related work.
+
+Nodes are three-input majority gates ``M(a,b,c)``; inverters live on
+edges as complement bits, like the AIG.  Construction applies the
+majority axioms as folding rules:
+
+* ``M(x,x,y) = x``          (majority of a duplicated input)
+* ``M(x,~x,y) = y``         (complementary inputs cancel)
+* ``M(0,x,y) = x & y`` stays a node; constants are kept as ordinary
+  fanins so AND/OR are the special cases ``M(0,·,·)`` / ``M(1,·,·)``
+* self-duality: a node with two or more complemented fanins is stored
+  with all fanins flipped and a complemented output (canonical form),
+  halving the structural-hash space.
+
+The same divide-and-conquer parallel rewriting ideas apply here; this
+substrate backs the depth-oriented MIG rewriting in
+:mod:`repro.mig.rewrite` and the AIG/MIG converters in
+:mod:`repro.mig.convert`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..errors import AigError
+
+KIND_CONST = 0
+KIND_PI = 1
+KIND_MAJ = 2
+KIND_DEAD = 3
+
+
+def lit_var(lit: int) -> int:
+    return lit >> 1
+
+
+def lit_compl(lit: int) -> bool:
+    return bool(lit & 1)
+
+
+def lit_not(lit: int) -> int:
+    return lit ^ 1
+
+
+class Mig:
+    """A mutable Majority-Inverter Graph."""
+
+    def __init__(self) -> None:
+        self._kind: List[int] = [KIND_CONST]
+        self._fanins: List[Tuple[int, int, int]] = [(-1, -1, -1)]
+        self._level: List[int] = [0]
+        self._nref: List[int] = [0]
+        self._strash: Dict[Tuple[int, int, int], int] = {}
+        self._pis: List[int] = []
+        self._pos: List[int] = []
+        self.name = ""
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_pis(self) -> int:
+        return len(self._pis)
+
+    @property
+    def num_pos(self) -> int:
+        return len(self._pos)
+
+    @property
+    def num_majs(self) -> int:
+        return sum(1 for k in self._kind if k == KIND_MAJ)
+
+    @property
+    def pis(self) -> Tuple[int, ...]:
+        return tuple(self._pis)
+
+    @property
+    def pos(self) -> Tuple[int, ...]:
+        return tuple(self._pos)
+
+    def is_maj(self, var: int) -> bool:
+        return self._kind[var] == KIND_MAJ
+
+    def is_pi(self, var: int) -> bool:
+        return self._kind[var] == KIND_PI
+
+    def fanins(self, var: int) -> Tuple[int, int, int]:
+        if self._kind[var] != KIND_MAJ:
+            raise AigError(f"MIG node {var} has no fanins")
+        return self._fanins[var]
+
+    def level(self, var: int) -> int:
+        return self._level[var]
+
+    def max_level(self) -> int:
+        return max((self._level[lit_var(l)] for l in self._pos), default=0)
+
+    def nref(self, var: int) -> int:
+        return self._nref[var]
+
+    def majs(self) -> Iterator[int]:
+        for var in range(1, len(self._kind)):
+            if self._kind[var] == KIND_MAJ:
+                yield var
+
+    def topo_majs(self) -> List[int]:
+        return sorted(self.majs(), key=lambda v: (self._level[v], v))
+
+    # ------------------------------------------------------------------
+
+    def add_pi(self) -> int:
+        var = self._alloc(KIND_PI)
+        self._pis.append(var)
+        return 2 * var
+
+    def add_po(self, lit: int) -> int:
+        self._nref[lit_var(lit)] += 1
+        self._pos.append(lit)
+        return len(self._pos) - 1
+
+    def maj_(self, a: int, b: int, c: int) -> int:
+        """Create (or fold/look up) a majority node."""
+        # Folding rules.
+        if a == b or a == c:
+            return a
+        if b == c:
+            return b
+        if a == lit_not(b):
+            return c
+        if a == lit_not(c):
+            return b
+        if b == lit_not(c):
+            return a
+        lits = sorted((a, b, c))
+        # Self-duality canonicalization: majority of complements is the
+        # complement of the majority.
+        out_compl = False
+        if sum(1 for l in lits if l & 1) >= 2:
+            lits = sorted(l ^ 1 for l in lits)
+            out_compl = True
+        key = (lits[0], lits[1], lits[2])
+        hit = self._strash.get(key)
+        if hit is not None:
+            return (2 * hit) | int(out_compl)
+        var = self._alloc(KIND_MAJ)
+        self._fanins[var] = key
+        self._level[var] = 1 + max(self._level[lit_var(l)] for l in key)
+        for l in key:
+            self._nref[lit_var(l)] += 1
+        self._strash[key] = var
+        return (2 * var) | int(out_compl)
+
+    def and_(self, a: int, b: int) -> int:
+        return self.maj_(0, a, b)
+
+    def or_(self, a: int, b: int) -> int:
+        return self.maj_(1, a, b)
+
+    # ------------------------------------------------------------------
+
+    def _alloc(self, kind: int) -> int:
+        var = len(self._kind)
+        self._kind.append(kind)
+        self._fanins.append((-1, -1, -1))
+        self._level.append(0)
+        self._nref.append(0)
+        return var
+
+    def simulate(self, pi_values: List[int], width: int) -> List[int]:
+        """Bit-parallel simulation (same conventions as the AIG's)."""
+        if len(pi_values) != self.num_pis:
+            raise AigError(
+                f"expected {self.num_pis} PI vectors, got {len(pi_values)}"
+            )
+        mask = (1 << width) - 1
+        values: Dict[int, int] = {0: 0}
+        for pi, vec in zip(self._pis, pi_values):
+            values[pi] = vec & mask
+        for var in self.topo_majs():
+            a, b, c = self._fanins[var]
+            va = values[lit_var(a)] ^ (mask if a & 1 else 0)
+            vb = values[lit_var(b)] ^ (mask if b & 1 else 0)
+            vc = values[lit_var(c)] ^ (mask if c & 1 else 0)
+            values[var] = (va & vb) | (va & vc) | (vb & vc)
+        outs = []
+        for lit in self._pos:
+            v = values[lit_var(lit)]
+            outs.append(v ^ (mask if lit & 1 else 0))
+        return outs
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Mig(name={self.name!r}, pis={self.num_pis}, pos={self.num_pos}, "
+            f"majs={self.num_majs}, depth={self.max_level()})"
+        )

@@ -1,0 +1,124 @@
+"""Depth-oriented MIG algebraic rewriting (Amarù et al., DAC'14 / the
+optimization the paper's related work attributes to [4,5]).
+
+Reconstruction pass: every node is rebuilt bottom-up; where a node
+matches the associativity pattern
+
+    M(x, u, M(y, u, z))  =  M(z, u, M(y, u, x))
+
+with the inner majority sharing the common input ``u``, the identity
+is applied whenever moving the deeper of ``x``/``z`` to the outer level
+reduces the node's depth.  Construction-time folding (majority,
+complementary-input and duplication rules) provides the Ω.M axioms for
+free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .graph import Mig, lit_not, lit_var
+
+
+@dataclass
+class MigRewriteResult:
+    """Outcome of one depth-rewriting pass."""
+
+    size_before: int
+    size_after: int
+    depth_before: int
+    depth_after: int
+    moves: int
+
+    @property
+    def depth_reduction(self) -> int:
+        return self.depth_before - self.depth_after
+
+
+def rewrite_depth(mig: Mig, passes: int = 2) -> Tuple[Mig, MigRewriteResult]:
+    """Return a depth-optimized copy of ``mig``."""
+    size_before = mig.num_majs
+    depth_before = mig.max_level()
+    current = mig
+    total_moves = 0
+    for _ in range(passes):
+        current, moves = _one_pass(current)
+        total_moves += moves
+        if moves == 0:
+            break
+    result = MigRewriteResult(
+        size_before=size_before,
+        size_after=current.num_majs,
+        depth_before=depth_before,
+        depth_after=current.max_level(),
+        moves=total_moves,
+    )
+    return current, result
+
+
+def _one_pass(mig: Mig) -> Tuple[Mig, int]:
+    out = Mig()
+    out.name = mig.name
+    memo: Dict[int, int] = {0: 0}
+    for pi in mig.pis:
+        memo[pi] = out.add_pi()
+    moves = 0
+
+    def mlit(old_lit: int) -> int:
+        return memo[lit_var(old_lit)] ^ (old_lit & 1)
+
+    for var in mig.topo_majs():
+        a, b, c = (mlit(l) for l in mig.fanins(var))
+        lit, moved = _build_assoc(out, a, b, c)
+        moves += moved
+        memo[var] = lit
+
+    for lit in mig.pos:
+        out.add_po(mlit(lit))
+    return out, moves
+
+
+def _build_assoc(out: Mig, a: int, b: int, c: int) -> Tuple[int, int]:
+    """Build M(a,b,c) in ``out``, applying the associativity move when
+    it reduces the node's level."""
+    best = None  # (level, inner_deep_lit, u, y, x)
+    for inner, others in ((a, (b, c)), (b, (a, c)), (c, (a, b))):
+        iv = lit_var(inner)
+        if (inner & 1) or not out.is_maj(iv):
+            continue
+        inner_fanins = out.fanins(iv)
+        for u in others:
+            if u not in inner_fanins:
+                continue
+            x = others[0] if others[1] == u else others[1]
+            rest = [l for l in inner_fanins if l != u]
+            if len(rest) != 2:
+                continue
+            y, z = rest
+            if out.level(lit_var(y)) > out.level(lit_var(z)):
+                y, z = z, y
+            # candidate: M(z, u, M(y, u, x)) — promote deep z upward.
+            if out.level(lit_var(z)) <= out.level(lit_var(x)):
+                continue
+            new_level = 1 + max(
+                out.level(lit_var(z)),
+                out.level(lit_var(u)),
+                1 + max(
+                    out.level(lit_var(y)),
+                    out.level(lit_var(u)),
+                    out.level(lit_var(x)),
+                ),
+            )
+            direct_level = 1 + max(
+                out.level(lit_var(a)), out.level(lit_var(b)), out.level(lit_var(c))
+            )
+            if new_level < direct_level and (
+                best is None or new_level < best[0]
+            ):
+                best = (new_level, z, u, y, x)
+    if best is None:
+        return out.maj_(a, b, c), 0
+    _, z, u, y, x = best
+    inner_lit = out.maj_(y, u, x)
+    return out.maj_(z, u, inner_lit), 1

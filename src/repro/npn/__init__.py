@@ -1,0 +1,51 @@
+"""NPN canonicalization and 4-input truth-table utilities."""
+
+from .canon import NpnTransform, apply_transform, canon_all_functions, npn_canon, npn_class_of
+from .classes import (
+    NUM_NPN_CLASSES_4,
+    NUM_PRACTICAL_CLASSES,
+    all_classes,
+    class_populations,
+    class_set,
+    practical_classes,
+)
+from .truth import (
+    MASK4,
+    VAR4,
+    cofactor,
+    depends_on,
+    eval_tt,
+    expand,
+    full_mask,
+    shrink_to_support,
+    support,
+    tt_not,
+    tt_to_str,
+    var_table,
+)
+
+__all__ = [
+    "NpnTransform",
+    "apply_transform",
+    "canon_all_functions",
+    "npn_canon",
+    "npn_class_of",
+    "NUM_NPN_CLASSES_4",
+    "NUM_PRACTICAL_CLASSES",
+    "all_classes",
+    "class_populations",
+    "class_set",
+    "practical_classes",
+    "MASK4",
+    "VAR4",
+    "cofactor",
+    "depends_on",
+    "eval_tt",
+    "expand",
+    "full_mask",
+    "shrink_to_support",
+    "support",
+    "tt_not",
+    "tt_to_str",
+    "var_table",
+]

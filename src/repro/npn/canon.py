@@ -1,0 +1,127 @@
+"""Exhaustive NPN canonicalization for 4-input functions.
+
+Two Boolean functions are NPN-equivalent when one can be obtained from
+the other by negating/permuting inputs and possibly negating the
+output.  For 4 inputs there are ``2^4 * 4! * 2 = 768`` transforms; the
+canonical representative of a class is the minimum 16-bit table over
+all of them.  All 65536 functions fall into exactly 222 classes
+(asserted in the tests, matching the paper's Section 3).
+
+The transform that witnesses the canonicalization is kept so library
+structures (expressed over canonical inputs) can be mapped back onto
+concrete cut leaves:
+
+    canon(y0..y3) = f(x0..x3) ^ out_neg,  with  x[perm[i]] = y_i ^ neg_i
+
+hence to realize ``f`` from a structure computing ``canon``:
+feed structure input ``i`` with leaf ``perm[i]`` complemented by bit
+``i`` of ``neg_mask``, and complement the structure output by
+``out_neg``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .truth import MASK4
+
+
+@dataclass(frozen=True)
+class NpnTransform:
+    """A witness transform mapping a function onto its canonical form."""
+
+    perm: Tuple[int, int, int, int]
+    neg_mask: int
+    out_neg: bool
+
+    def leaf_assignment(self) -> List[Tuple[int, bool]]:
+        """For each canonical structure input ``i``: (leaf position,
+        complemented?) — the instantiation recipe described above."""
+        return [
+            (self.perm[i], bool((self.neg_mask >> i) & 1)) for i in range(4)
+        ]
+
+
+def _build_transforms() -> Tuple[List[NpnTransform], np.ndarray, np.ndarray]:
+    """All 768 transforms with their minterm source-index matrices."""
+    transforms: List[NpnTransform] = []
+    matrices = np.empty((768, 16), dtype=np.uint8)
+    out_flags = np.empty(768, dtype=np.uint16)
+    row = 0
+    for perm in itertools.permutations(range(4)):
+        for neg_mask in range(16):
+            for out_neg in (False, True):
+                transforms.append(NpnTransform(perm, neg_mask, out_neg))
+                for k in range(16):
+                    j = 0
+                    for i in range(4):
+                        bit = ((k >> i) & 1) ^ ((neg_mask >> i) & 1)
+                        j |= bit << perm[i]
+                    matrices[row, k] = j
+                out_flags[row] = MASK4 if out_neg else 0
+                row += 1
+    return transforms, matrices, out_flags
+
+
+_TRANSFORMS, _MATRICES, _OUT_FLAGS = _build_transforms()
+_POW2 = (np.uint32(1) << np.arange(16, dtype=np.uint32)).astype(np.uint32)
+_canon_cache: Dict[int, Tuple[int, NpnTransform]] = {}
+
+
+def apply_transform(tt: int, transform: NpnTransform) -> int:
+    """Apply an NPN transform to a 16-bit truth table."""
+    row = _TRANSFORMS.index(transform)
+    return _apply_row(tt, row)
+
+
+def _apply_row(tt: int, row: int) -> int:
+    out = 0
+    mat = _MATRICES[row]
+    for k in range(16):
+        out |= ((tt >> int(mat[k])) & 1) << k
+    return out ^ int(_OUT_FLAGS[row])
+
+
+def npn_canon(tt: int) -> Tuple[int, NpnTransform]:
+    """Canonical representative of ``tt`` and the witness transform.
+
+    Memoized: real circuits reuse a small set of cut functions heavily.
+    """
+    tt &= MASK4
+    hit = _canon_cache.get(tt)
+    if hit is not None:
+        return hit
+    bits = ((tt >> np.arange(16, dtype=np.uint32)) & 1).astype(np.uint32)
+    candidates = (bits[_MATRICES] * _POW2).sum(axis=1).astype(np.uint32)
+    candidates ^= _OUT_FLAGS.astype(np.uint32)
+    row = int(candidates.argmin())
+    result = (int(candidates[row]), _TRANSFORMS[row])
+    _canon_cache[tt] = result
+    return result
+
+
+def npn_class_of(tt: int) -> int:
+    """Just the canonical table (no witness)."""
+    return npn_canon(tt)[0]
+
+
+def canon_all_functions() -> np.ndarray:
+    """Canonical representative of every 16-bit function (vectorized).
+
+    Returns an array ``c`` with ``c[f] = canon(f)``; used to enumerate
+    the 222 classes and to build class-population statistics.
+    """
+    funcs = np.arange(65536, dtype=np.uint32)
+    best = funcs.copy()
+    for row in range(768):
+        mat = _MATRICES[row]
+        acc = np.zeros(65536, dtype=np.uint32)
+        for k in range(16):
+            acc |= ((funcs >> np.uint32(mat[k])) & np.uint32(1)) << np.uint32(k)
+        acc ^= np.uint32(_OUT_FLAGS[row])
+        np.minimum(best, acc, out=best)
+    return best

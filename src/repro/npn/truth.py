@@ -1,0 +1,135 @@
+"""Small truth-table utilities (up to 4 variables).
+
+A truth table of ``n`` variables is an integer with ``2**n`` bits; bit
+``k`` is the function value when variable ``i`` carries bit ``i`` of
+``k``.  Four variables (16-bit tables, the paper's cut size) is the
+common case everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import CutError
+
+# Elementary truth tables of variables x0..x3 in the 4-variable space.
+VAR4 = (0xAAAA, 0xCCCC, 0xF0F0, 0xFF00)
+MASK4 = 0xFFFF
+
+
+def num_bits(n: int) -> int:
+    """Size of the truth-table bit-space for ``n`` variables."""
+    return 1 << n
+
+
+def full_mask(n: int) -> int:
+    """All-ones table for ``n`` variables."""
+    return (1 << (1 << n)) - 1
+
+
+def var_table(i: int, n: int) -> int:
+    """Truth table of variable ``i`` in an ``n``-variable space."""
+    if i >= n:
+        raise CutError(f"variable {i} out of range for {n}-var table")
+    block = (1 << (1 << i)) - 1
+    period = 1 << (i + 1)
+    out = 0
+    for start in range(1 << i, 1 << n, period):
+        out |= block << start
+    return out
+
+
+def tt_not(tt: int, n: int) -> int:
+    """Complement within the ``n``-variable space."""
+    return tt ^ full_mask(n)
+
+
+def cofactor(tt: int, var: int, value: int, n: int) -> int:
+    """Shannon cofactor with ``var`` fixed to ``value`` (result still
+    expressed in the full ``n``-variable space)."""
+    vmask = var_table(var, n)
+    shift = 1 << var
+    if value:
+        pos = tt & vmask
+        return pos | (pos >> shift)
+    neg = tt & ~vmask & full_mask(n)
+    return neg | (neg << shift)
+
+
+def depends_on(tt: int, var: int, n: int) -> bool:
+    """True when the function actually depends on ``var``."""
+    return cofactor(tt, var, 0, n) != cofactor(tt, var, 1, n)
+
+
+def support(tt: int, n: int) -> Tuple[int, ...]:
+    """Indices of variables the function depends on."""
+    return tuple(i for i in range(n) if depends_on(tt, i, n))
+
+
+def expand(tt: int, src: Tuple[int, ...], dst: Tuple[int, ...]) -> int:
+    """Re-express ``tt`` over variable list ``src`` in the space of the
+    superset variable list ``dst`` (both sorted leaf-id tuples).
+
+    Used when merging cuts: each fanin cut's table is lifted to the
+    union leaf set before combining.  This is the cut enumerator's
+    hottest loop, so the tt-independent minterm mapping is cached per
+    position pattern.
+    """
+    if src == dst:
+        return tt
+    pos = []
+    for s in src:
+        try:
+            pos.append(dst.index(s))
+        except ValueError:
+            raise CutError(f"leaf {s} of source cut missing from target {dst}")
+    mapping = _expand_map(tuple(pos), len(dst))
+    out = 0
+    for k, j in enumerate(mapping):
+        if (tt >> j) & 1:
+            out |= 1 << k
+    return out
+
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=4096)
+def _expand_map(pos: Tuple[int, ...], nd: int) -> Tuple[int, ...]:
+    """dst-minterm -> src-minterm index map for a position pattern."""
+    out = []
+    for k in range(1 << nd):
+        j = 0
+        for i, p in enumerate(pos):
+            j |= ((k >> p) & 1) << i
+        out.append(j)
+    return tuple(out)
+
+
+def shrink_to_support(tt: int, n: int) -> Tuple[int, Tuple[int, ...]]:
+    """Drop unsupported variables; returns (table, kept variable indices)."""
+    sup = support(tt, n)
+    if len(sup) == n:
+        return tt, sup
+    out = 0
+    for k in range(1 << len(sup)):
+        j = 0
+        for i, v in enumerate(sup):
+            j |= ((k >> i) & 1) << v
+        if (tt >> j) & 1:
+            out |= 1 << k
+    return out, sup
+
+
+def tt_to_str(tt: int, n: int) -> str:
+    """Binary string, most-significant minterm first (debug aid)."""
+    width = 1 << n
+    return format(tt & full_mask(n), f"0{width}b")
+
+
+def eval_tt(tt: int, assignment: List[int]) -> int:
+    """Evaluate under a 0/1 assignment (assignment[i] = value of var i)."""
+    idx = 0
+    for i, v in enumerate(assignment):
+        idx |= (v & 1) << i
+    return (tt >> idx) & 1

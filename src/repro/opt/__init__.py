@@ -1,0 +1,34 @@
+"""Companion optimization passes: balance, refactor, fraig, flows."""
+
+from .balance import BalanceResult, balance
+from .fraig import FraigResult, fraig
+from .flow import FLOW_SCRIPTS, FlowResult, FlowStep, run_flow
+from .refactor import (
+    DEFAULT_MAX_LEAVES,
+    ParallelRefactor,
+    RefactorCandidate,
+    RefactorEngine,
+    build_factored,
+    cone_truth_table,
+    reconvergence_cut,
+)
+from .resub import ResubEngine
+
+__all__ = [
+    "BalanceResult",
+    "balance",
+    "FraigResult",
+    "fraig",
+    "FLOW_SCRIPTS",
+    "FlowResult",
+    "FlowStep",
+    "run_flow",
+    "DEFAULT_MAX_LEAVES",
+    "ParallelRefactor",
+    "RefactorCandidate",
+    "RefactorEngine",
+    "build_factored",
+    "cone_truth_table",
+    "reconvergence_cut",
+    "ResubEngine",
+]

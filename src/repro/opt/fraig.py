@@ -1,0 +1,145 @@
+"""Functional reduction (fraiging) as an optimization pass.
+
+Rewriting only merges *structurally* identical nodes (through the
+strash table); fraiging merges *functionally* equivalent ones: random
+simulation partitions nodes into candidate classes, a shared
+incremental SAT encoding proves each candidate pair, and proven pairs
+are merged in the graph with ``Aig.replace`` (which cascades further
+structural merges for free).
+
+This reuses the machinery of :mod:`repro.sat.sweep` on a single graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..aig import Aig
+from ..aig.literals import lit_compl, lit_not, lit_var
+from ..aig.simulate import random_patterns
+from ..sat.solver import Solver
+from ..sat.sweep import _encode
+
+
+@dataclass
+class FraigResult:
+    """Outcome of one fraig pass."""
+
+    area_before: int
+    area_after: int
+    candidate_pairs: int
+    proven_merges: int
+    disproved: int
+    sat_conflicts: int
+
+    @property
+    def area_reduction(self) -> int:
+        return self.area_before - self.area_after
+
+
+def fraig(aig: Aig, sim_width: int = 256, seed: int = 0,
+          max_cex_rounds: int = 32) -> FraigResult:
+    """Merge functionally equivalent nodes in place."""
+    area_before = aig.num_ands
+
+    solver = Solver()
+    pi_vars = [solver.new_var() for _ in range(aig.num_pis)]
+    enc = _encode(aig, solver, pi_vars)
+
+    mask = (1 << sim_width) - 1
+    patterns = random_patterns(aig.num_pis, sim_width, seed)
+    sigs: Dict[int, int] = {0: 0}
+    for pi, vec in zip(aig.pis, patterns):
+        sigs[pi] = vec & mask
+    for var in aig.topo_ands():
+        f0, f1 = aig.fanin0(var), aig.fanin1(var)
+        a = sigs[lit_var(f0)] ^ (mask if f0 & 1 else 0)
+        b = sigs[lit_var(f1)] ^ (mask if f1 & 1 else 0)
+        sigs[var] = a & b
+
+    # Candidate classes by phase-normalized signature, level order.
+    order = sorted(aig.topo_ands(), key=lambda v: (aig.level(v), v))
+    classes: Dict[int, int] = {}
+    rep_order: List[int] = []
+    merges: List[Tuple[int, int, bool]] = []  # (node, rep, complemented)
+    candidate_pairs = 0
+    disproved = 0
+    cex_budget = max_cex_rounds
+    for var in order:
+        sig = sigs[var] & mask
+        norm = min(sig, sig ^ mask)
+        rep = classes.get(norm)
+        if rep is None:
+            classes[norm] = var
+            rep_order.append(var)
+            continue
+        candidate_pairs += 1
+        phase = (sigs[rep] & mask) != sig
+        a, b = enc[rep], enc[var]
+        if _prove(solver, a, b, phase):
+            _assert_equal(solver, a, b, phase)
+            merges.append((var, rep, phase))
+        else:
+            disproved += 1
+            if cex_budget > 0:
+                cex_budget -= 1
+                cex = [solver.model_value(v) for v in pi_vars]
+                _refine(aig, sigs, cex, mask)
+                classes = {}
+                for r in rep_order:
+                    rs = sigs[r] & mask
+                    classes.setdefault(min(rs, rs ^ mask), r)
+
+    # Apply merges: replace node by its representative (lower level, so
+    # the representative cannot be in the node's transitive fanout).
+    from ..aig.traversal import is_in_tfi
+
+    proven = 0
+    for var, rep, phase in merges:
+        if aig.is_dead(var) or aig.is_dead(rep) or var == rep:
+            continue
+        if is_in_tfi(aig, var, rep):
+            continue  # earlier merges moved rep downstream; skip safely
+        lit = (2 * rep) ^ int(phase)
+        aig.replace(var, lit)
+        proven += 1
+
+    return FraigResult(
+        area_before=area_before,
+        area_after=aig.num_ands,
+        candidate_pairs=candidate_pairs,
+        proven_merges=proven,
+        disproved=disproved,
+        sat_conflicts=solver.stats["conflicts"],
+    )
+
+
+def _prove(solver: Solver, a: int, b: int, phase: bool) -> bool:
+    x = solver.new_var()
+    bb = -b if phase else b
+    solver.add_clause([-x, a, bb])
+    solver.add_clause([-x, -a, -bb])
+    solver.add_clause([x, -a, bb])
+    solver.add_clause([x, a, -bb])
+    return not solver.solve(assumptions=[x])
+
+
+def _assert_equal(solver: Solver, a: int, b: int, phase: bool) -> None:
+    bb = -b if phase else b
+    solver.add_clause([-a, bb])
+    solver.add_clause([a, -bb])
+
+
+def _refine(aig: Aig, sigs: Dict[int, int], cex: List[int], mask: int) -> None:
+    values = {0: 0}
+    for pi, bit in zip(aig.pis, cex):
+        values[pi] = bit & 1
+    for var in aig.topo_ands():
+        f0, f1 = aig.fanin0(var), aig.fanin1(var)
+        a = values[lit_var(f0)] ^ (f0 & 1)
+        b = values[lit_var(f1)] ^ (f1 & 1)
+        values[var] = a & b
+    for var, bit in values.items():
+        if var in sigs:
+            sigs[var] = ((sigs[var] << 1) | bit) & mask

@@ -1,0 +1,60 @@
+"""Result record shared by all rewriting engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class RewriteResult:
+    """What one engine did to one circuit.
+
+    ``work_units`` is the total abstract work performed;
+    ``makespan_units`` is the simulated parallel completion time (equal
+    to ``work_units`` for a serial engine, smaller with more workers —
+    this pair is what the paper's speedup columns are computed from).
+    """
+
+    engine: str
+    workers: int
+    area_before: int
+    area_after: int
+    delay_before: int
+    delay_after: int
+    replacements: int = 0
+    attempted: int = 0
+    passes: int = 0
+    work_units: int = 0
+    makespan_units: int = 0
+    conflicts: int = 0
+    aborted_units: int = 0
+    validation_failures: int = 0
+    revalidated: int = 0
+    stage_units: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def area_reduction(self) -> int:
+        """The paper's "Area Reduction" column: AND nodes removed."""
+        return self.area_before - self.area_after
+
+    @property
+    def area_reduction_pct(self) -> float:
+        if self.area_before == 0:
+            return 0.0
+        return 100.0 * self.area_reduction / self.area_before
+
+    @property
+    def speedup_vs_serial_work(self) -> float:
+        """Work/makespan: the effective parallel efficiency × workers."""
+        if self.makespan_units == 0:
+            return 1.0
+        return self.work_units / self.makespan_units
+
+    def summary(self) -> str:
+        return (
+            f"{self.engine}[{self.workers}w]: area {self.area_before} -> "
+            f"{self.area_after} (-{self.area_reduction}), delay "
+            f"{self.delay_before} -> {self.delay_after}, makespan "
+            f"{self.makespan_units}u, conflicts {self.conflicts}"
+        )

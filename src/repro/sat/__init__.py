@@ -1,0 +1,15 @@
+"""SAT solving and combinational equivalence checking."""
+
+from .auto import check_equivalence_auto
+from .cnf import build_miter, encode_aig
+from .equivalence import CecResult, check_equivalence
+from .solver import Solver
+
+__all__ = [
+    "check_equivalence_auto",
+    "build_miter",
+    "encode_aig",
+    "CecResult",
+    "check_equivalence",
+    "Solver",
+]

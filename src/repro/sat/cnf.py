@@ -1,0 +1,78 @@
+"""Tseitin encoding of AIGs into CNF and miter construction."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..aig import Aig
+from ..aig.literals import lit_compl, lit_var
+from ..errors import SatError
+from .solver import Solver
+
+
+def encode_aig(
+    aig: Aig, solver: Solver, pi_vars: List[int]
+) -> List[int]:
+    """Tseitin-encode the AIG onto ``solver``.
+
+    ``pi_vars`` supplies the solver variable for each PI (so two
+    circuits can share inputs in a miter).  Returns one solver literal
+    per PO.
+    """
+    if len(pi_vars) != aig.num_pis:
+        raise SatError(
+            f"expected {aig.num_pis} PI vars, got {len(pi_vars)}"
+        )
+    const_var = solver.new_var()
+    solver.add_clause([-const_var])  # constant false
+    node_var: Dict[int, int] = {0: const_var}
+    for pi, sv in zip(aig.pis, pi_vars):
+        node_var[pi] = sv
+    for var in aig.topo_ands():
+        y = solver.new_var()
+        node_var[var] = y
+        a = _solver_lit(aig.fanin0(var), node_var)
+        b = _solver_lit(aig.fanin1(var), node_var)
+        solver.add_clause([-y, a])
+        solver.add_clause([-y, b])
+        solver.add_clause([y, -a, -b])
+    return [_solver_lit(lit, node_var) for lit in aig.pos]
+
+
+def _solver_lit(aig_lit: int, node_var: Dict[int, int]) -> int:
+    sv = node_var[lit_var(aig_lit)]
+    return -sv if lit_compl(aig_lit) else sv
+
+
+def build_miter(aig1: Aig, aig2: Aig) -> Tuple[Solver, List[int], int]:
+    """CNF miter of two AIGs over shared PIs.
+
+    Returns ``(solver, pi_vars, miter_var)`` where ``miter_var`` is a
+    solver variable that is true iff some PO pair differs.  The two
+    circuits are equivalent iff the formula with ``miter_var`` asserted
+    is UNSAT.
+    """
+    if aig1.num_pis != aig2.num_pis or aig1.num_pos != aig2.num_pos:
+        raise SatError(
+            "miter interface mismatch: "
+            f"{aig1.num_pis}/{aig1.num_pos} vs {aig2.num_pis}/{aig2.num_pos}"
+        )
+    solver = Solver()
+    pi_vars = [solver.new_var() for _ in range(aig1.num_pis)]
+    outs1 = encode_aig(aig1, solver, pi_vars)
+    outs2 = encode_aig(aig2, solver, pi_vars)
+    xor_vars: List[int] = []
+    for o1, o2 in zip(outs1, outs2):
+        x = solver.new_var()
+        # x <-> (o1 xor o2)
+        solver.add_clause([-x, o1, o2])
+        solver.add_clause([-x, -o1, -o2])
+        solver.add_clause([x, -o1, o2])
+        solver.add_clause([x, o1, -o2])
+        xor_vars.append(x)
+    miter = solver.new_var()
+    # miter -> (x1 v x2 v ...)
+    solver.add_clause([-miter] + xor_vars)
+    for x in xor_vars:
+        solver.add_clause([miter, -x])
+    return solver, pi_vars, miter

@@ -1,0 +1,348 @@
+"""A compact CDCL SAT solver.
+
+Implements the standard modern recipe — two-watched-literal
+propagation, first-UIP conflict analysis with clause learning, VSIDS
+branching with exponential decay, phase saving, and Luby restarts.
+Complete and deterministic; built for the combinational equivalence
+checks this package runs after every rewriting experiment ("the
+rewritten circuits all passed the equivalence check").
+
+External literal convention is DIMACS-like: variables are positive
+integers from :meth:`Solver.new_var`, a negative integer is the
+negated literal.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..errors import SatError
+
+_UNASSIGNED = -1
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby sequence: 1,1,2,1,1,2,4,..."""
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i = i - (1 << (k - 1)) + 1
+
+
+class Solver:
+    """CDCL solver; reusable across :meth:`solve` calls."""
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._clauses: List[List[int]] = []   # internal lits (2v / 2v+1)
+        self._watches: Dict[int, List[int]] = {}
+        self._assign: List[int] = [_UNASSIGNED]   # var-indexed (1-based)
+        self._phase: List[int] = [0]
+        self._level: List[int] = [0]
+        self._reason: List[Optional[int]] = [None]
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._activity: List[float] = [0.0]
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._heap: List[tuple] = []
+        self._ok = True
+        self._model: List[int] = []
+        self.stats = {"conflicts": 0, "decisions": 0, "propagations": 0,
+                      "restarts": 0, "learned": 0}
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable; returns its (positive) index."""
+        self._num_vars += 1
+        self._assign.append(_UNASSIGNED)
+        self._phase.append(0)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        return self._num_vars
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause of DIMACS literals.  Returns False when the
+        formula became trivially unsatisfiable."""
+        if not self._ok:
+            return False
+        seen = {}
+        internal: List[int] = []
+        for lit in lits:
+            if lit == 0 or abs(lit) > self._num_vars:
+                raise SatError(f"literal {lit} out of range")
+            ilit = self._to_internal(lit)
+            if seen.get(ilit ^ 1):
+                return True  # tautology: x v ~x
+            if ilit not in seen:
+                seen[ilit] = True
+                internal.append(ilit)
+        # Remove already-falsified literals at level 0.
+        if self._trail_lim:
+            raise SatError("add_clause only allowed at decision level 0")
+        internal = [l for l in internal if self._value(l) != 0]
+        if any(self._value(l) == 1 for l in internal):
+            return True
+        if not internal:
+            self._ok = False
+            return False
+        if len(internal) == 1:
+            if not self._enqueue(internal[0], None):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        cid = len(self._clauses)
+        self._clauses.append(internal)
+        self._watch(internal[0], cid)
+        self._watch(internal[1], cid)
+        return True
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        """Decide satisfiability; model readable via :meth:`model_value`."""
+        if not self._ok:
+            return False
+        self._cancel_until(0)
+        assumption_lits = [self._to_internal(a) for a in assumptions]
+        self._rebuild_heap()
+        restart_count = 0
+        conflicts_until_restart = 32 * _luby(1)
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats["conflicts"] += 1
+                conflicts_here += 1
+                if not self._trail_lim:
+                    self._cancel_until(0)
+                    return False
+                learned, backtrack_level = self._analyze(conflict)
+                self._cancel_until(backtrack_level)
+                self._record_learned(learned)
+                self._decay_activities()
+                continue
+            if conflicts_here >= conflicts_until_restart:
+                restart_count += 1
+                self.stats["restarts"] += 1
+                conflicts_here = 0
+                conflicts_until_restart = 32 * _luby(restart_count + 1)
+                self._cancel_until(0)
+                continue
+            # Assumptions first, then VSIDS decision.
+            next_lit = None
+            for a in assumption_lits:
+                val = self._value(a)
+                if val == 0:
+                    self._cancel_until(0)
+                    return False  # assumption falsified
+                if val == _UNASSIGNED:
+                    next_lit = a
+                    break
+            if next_lit is None:
+                var = self._pick_branch_var()
+                if var is None:
+                    # SAT: snapshot the model, then reset to level 0 so
+                    # the solver stays incrementally usable.
+                    self._model = list(self._assign)
+                    self._cancel_until(0)
+                    return True
+                next_lit = 2 * var + (self._phase[var] ^ 1)
+            self.stats["decisions"] += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(next_lit, None)
+
+    def model_value(self, var: int) -> int:
+        """0/1 value of a variable in the most recent model."""
+        if var >= len(self._model):
+            return 0
+        val = self._model[var]
+        return 0 if val == _UNASSIGNED else val
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _to_internal(lit: int) -> int:
+        return 2 * lit if lit > 0 else -2 * lit + 1
+
+    def _value(self, ilit: int) -> int:
+        """1 true, 0 false, _UNASSIGNED."""
+        val = self._assign[ilit >> 1]
+        if val == _UNASSIGNED:
+            return _UNASSIGNED
+        return val ^ (ilit & 1)
+
+    def _watch(self, ilit: int, cid: int) -> None:
+        self._watches.setdefault(ilit, []).append(cid)
+
+    def _enqueue(self, ilit: int, reason: Optional[int]) -> bool:
+        val = self._value(ilit)
+        if val == 0:
+            return False
+        if val == 1:
+            return True
+        var = ilit >> 1
+        self._assign[var] = 1 ^ (ilit & 1)
+        self._phase[var] = self._assign[var]
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(ilit)
+        return True
+
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation; returns a conflicting clause id or None."""
+        while self._qhead < len(self._trail):
+            ilit = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats["propagations"] += 1
+            neg = ilit ^ 1
+            watch_list = self._watches.get(neg, [])
+            new_list: List[int] = []
+            conflict = None
+            for idx, cid in enumerate(watch_list):
+                clause = self._clauses[cid]
+                # Ensure the falsified literal sits at position 1.
+                if clause[0] == neg:
+                    clause[0], clause[1] = clause[1], clause[0]
+                if self._value(clause[0]) == 1:
+                    new_list.append(cid)
+                    continue
+                # Look for a replacement watch.
+                found = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watch(clause[1], cid)
+                        found = True
+                        break
+                if found:
+                    continue
+                new_list.append(cid)
+                if not self._enqueue(clause[0], cid):
+                    conflict = cid
+                    new_list.extend(watch_list[idx + 1 :])
+                    break
+            self._watches[neg] = new_list
+            if conflict is not None:
+                return conflict
+        return None
+
+    def _analyze(self, conflict_cid: int):
+        """First-UIP learning; returns (learned clause, backtrack level)."""
+        learned: List[int] = [0]  # slot 0 for the UIP literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        ilit = None
+        cid: Optional[int] = conflict_cid
+        index = len(self._trail)
+        current_level = len(self._trail_lim)
+        while True:
+            clause = self._clauses[cid]
+            start = 0 if ilit is None else 1
+            for l in clause[start:]:
+                var = l >> 1
+                if seen[var] or self._level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump_activity(var)
+                if self._level[var] == current_level:
+                    counter += 1
+                else:
+                    learned.append(l)
+            # Walk the trail backwards to the next marked literal.
+            while True:
+                index -= 1
+                ilit = self._trail[index]
+                if seen[ilit >> 1]:
+                    break
+            counter -= 1
+            if counter == 0:
+                break
+            cid = self._reason[ilit >> 1]
+            seen[ilit >> 1] = False
+        learned[0] = ilit ^ 1
+        if len(learned) == 1:
+            backtrack = 0
+        else:
+            # Second-highest decision level in the clause.
+            levels = sorted((self._level[l >> 1] for l in learned[1:]), reverse=True)
+            backtrack = levels[0]
+            # Move a literal of that level into the watch position.
+            for k in range(1, len(learned)):
+                if self._level[learned[k] >> 1] == backtrack:
+                    learned[1], learned[k] = learned[k], learned[1]
+                    break
+        return learned, backtrack
+
+    def _record_learned(self, learned: List[int]) -> None:
+        self.stats["learned"] += 1
+        if len(learned) == 1:
+            self._enqueue(learned[0], None)
+            return
+        cid = len(self._clauses)
+        self._clauses.append(learned)
+        self._watch(learned[0], cid)
+        self._watch(learned[1], cid)
+        self._enqueue(learned[0], cid)
+
+    def _cancel_until(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        bound = self._trail_lim[level]
+        for ilit in reversed(self._trail[bound:]):
+            var = ilit >> 1
+            self._assign[var] = _UNASSIGNED
+            self._reason[var] = None
+            heapq.heappush(self._heap, (-self._activity[var], var))
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = min(self._qhead, len(self._trail))
+
+    def _pick_branch_var(self) -> Optional[int]:
+        while self._heap:
+            neg_act, var = heapq.heappop(self._heap)
+            if self._assign[var] == _UNASSIGNED and -neg_act == self._activity[var]:
+                return var
+        for var in range(1, self._num_vars + 1):  # heap went stale: rebuild
+            if self._assign[var] == _UNASSIGNED:
+                self._rebuild_heap()
+                return self._pick_branch_var()
+        return None
+
+    def _rebuild_heap(self) -> None:
+        self._heap = [
+            (-self._activity[v], v)
+            for v in range(1, self._num_vars + 1)
+            if self._assign[v] == _UNASSIGNED
+        ]
+        heapq.heapify(self._heap)
+
+    def _bump_activity(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+        heapq.heappush(self._heap, (-self._activity[var], var))
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._var_decay

@@ -1,0 +1,194 @@
+"""SAT sweeping — scalable combinational equivalence checking.
+
+Monolithic miter SAT does not scale to multi-thousand-node circuits in
+a pure-Python solver, so this module implements the classic
+fraig-style sweep:
+
+1. Encode **both** circuits once into a single incremental solver with
+   shared PI variables.
+2. Bit-parallel random simulation partitions all internal nodes (from
+   both circuits) into candidate equivalence classes by
+   complement-normalized signature.
+3. Sweeping bottom-up (by level), each candidate pair is proved with an
+   assumption-based SAT call; a proven pair is *asserted* into the
+   solver as equality clauses, so later proofs see earlier
+   equivalences as unit-propagatable facts and stay shallow.
+   A disproved pair yields a counterexample pattern that refines the
+   remaining classes.
+4. Finally each PO pair is proved the same way.
+
+The result is exact (UNSAT proofs all the way down); simulation only
+chooses *what* to try proving.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..aig import Aig
+from ..aig.literals import lit_compl, lit_var
+from ..errors import SatError
+from ..aig.simulate import random_patterns
+from .equivalence import CecResult
+from .solver import Solver
+
+
+def cec_sweep(
+    aig1: Aig,
+    aig2: Aig,
+    sim_width: int = 512,
+    seed: int = 0,
+    max_cex_rounds: int = 64,
+) -> CecResult:
+    """Prove or refute equivalence by SAT sweeping."""
+    if aig1.num_pis != aig2.num_pis or aig1.num_pos != aig2.num_pos:
+        raise SatError("cannot compare circuits with different interfaces")
+    solver = Solver()
+    pi_vars = [solver.new_var() for _ in range(aig1.num_pis)]
+    enc1 = _encode(aig1, solver, pi_vars)
+    enc2 = _encode(aig2, solver, pi_vars)
+
+    sigs: Dict[Tuple[int, int], int] = {}
+    mask = (1 << sim_width) - 1
+    patterns = random_patterns(aig1.num_pis, sim_width, seed)
+    _simulate_into(aig1, patterns, mask, 0, sigs)
+    _simulate_into(aig2, patterns, mask, 1, sigs)
+
+    # Candidate classes keyed by phase-normalized signature.
+    entries = []  # (level, side, var)
+    for (side, var), sig in sigs.items():
+        aig = aig1 if side == 0 else aig2
+        if aig.is_and(var):
+            entries.append((aig.level(var), side, var))
+    entries.sort()
+
+    classes: Dict[int, Tuple[int, int]] = {}  # norm signature -> (side,var)
+    rep_order: List[Tuple[int, int]] = []
+    merges = 0
+    cex_budget = max_cex_rounds
+    for _, side, var in entries:
+        sig = sigs[(side, var)] & mask
+        norm = min(sig, sig ^ mask)
+        rep = classes.get(norm)
+        if rep is None:
+            classes[norm] = (side, var)
+            rep_order.append((side, var))
+            continue
+        rep_sv = _solver_var(rep, enc1, enc2)
+        my_sv = _solver_var((side, var), enc1, enc2)
+        if rep_sv == my_sv:
+            continue
+        rep_sig = sigs[rep] & mask
+        phase = rep_sig != sig  # equal up to complement?
+        if _prove_equal(solver, rep_sv, my_sv, phase):
+            _assert_equal(solver, rep_sv, my_sv, phase)
+            merges += 1
+        elif cex_budget > 0:
+            cex_budget -= 1
+            # Refine all signatures with the counterexample pattern and
+            # re-key the representatives under their new signatures.
+            cex_bits = [solver.model_value(v) for v in pi_vars]
+            extra1 = _simulate_pattern_sigs(aig1, cex_bits, 0)
+            extra2 = _simulate_pattern_sigs(aig2, cex_bits, 1)
+            for key, bit in {**extra1, **extra2}.items():
+                if key in sigs:
+                    sigs[key] = ((sigs[key] << 1) | bit) & mask
+            classes = {}
+            for rep_key in rep_order:
+                rs = sigs[rep_key] & mask
+                classes.setdefault(min(rs, rs ^ mask), rep_key)
+
+    # Final PO comparison.
+    for po in range(aig1.num_pos):
+        l1, l2 = aig1.po_lit(po), aig2.po_lit(po)
+        sv1 = _po_solver_lit(l1, enc1)
+        sv2 = _po_solver_lit(l2, enc2)
+        x = solver.new_var()
+        solver.add_clause([-x, sv1, sv2])
+        solver.add_clause([-x, -sv1, -sv2])
+        solver.add_clause([x, -sv1, sv2])
+        solver.add_clause([x, sv1, -sv2])
+        if solver.solve(assumptions=[x]):
+            cex = [solver.model_value(v) for v in pi_vars]
+            return CecResult(
+                equivalent=False, counterexample=cex, method="sat-sweep",
+                sat_conflicts=solver.stats["conflicts"],
+            )
+    return CecResult(
+        equivalent=True, counterexample=None, method="sat-sweep",
+        sat_conflicts=solver.stats["conflicts"],
+    )
+
+
+def _encode(aig: Aig, solver: Solver, pi_vars: List[int]) -> Dict[int, int]:
+    const = solver.new_var()
+    solver.add_clause([-const])
+    node_var = {0: const}
+    for pi, sv in zip(aig.pis, pi_vars):
+        node_var[pi] = sv
+    for var in aig.topo_ands():
+        y = solver.new_var()
+        node_var[var] = y
+        a = _lit(aig.fanin0(var), node_var)
+        b = _lit(aig.fanin1(var), node_var)
+        solver.add_clause([-y, a])
+        solver.add_clause([-y, b])
+        solver.add_clause([y, -a, -b])
+    return node_var
+
+
+def _lit(aig_lit: int, node_var: Dict[int, int]) -> int:
+    sv = node_var[lit_var(aig_lit)]
+    return -sv if lit_compl(aig_lit) else sv
+
+
+def _po_solver_lit(aig_lit: int, enc: Dict[int, int]) -> int:
+    return _lit(aig_lit, enc)
+
+
+def _solver_var(key: Tuple[int, int], enc1: Dict[int, int], enc2: Dict[int, int]) -> int:
+    side, var = key
+    return (enc1 if side == 0 else enc2)[var]
+
+
+def _prove_equal(solver: Solver, a: int, b: int, phase: bool) -> bool:
+    """UNSAT of (a != b^phase) proves equality."""
+    x = solver.new_var()
+    bb = -b if phase else b
+    solver.add_clause([-x, a, bb])
+    solver.add_clause([-x, -a, -bb])
+    solver.add_clause([x, -a, bb])
+    solver.add_clause([x, a, -bb])
+    return not solver.solve(assumptions=[x])
+
+
+def _assert_equal(solver: Solver, a: int, b: int, phase: bool) -> None:
+    bb = -b if phase else b
+    solver.add_clause([-a, bb])
+    solver.add_clause([a, -bb])
+
+
+def _simulate_into(aig: Aig, patterns, mask: int, side: int,
+                   out: Dict[Tuple[int, int], int]) -> None:
+    values = {0: 0}
+    for pi, vec in zip(aig.pis, patterns):
+        values[pi] = vec & mask
+    for var in aig.topo_ands():
+        f0, f1 = aig.fanin0(var), aig.fanin1(var)
+        v0 = values[lit_var(f0)] ^ (mask if f0 & 1 else 0)
+        v1 = values[lit_var(f1)] ^ (mask if f1 & 1 else 0)
+        values[var] = v0 & v1
+    for var, value in values.items():
+        out[(side, var)] = value
+
+
+def _simulate_pattern_sigs(aig: Aig, bits: List[int], side: int) -> Dict[Tuple[int, int], int]:
+    values = {0: 0}
+    for pi, bit in zip(aig.pis, bits):
+        values[pi] = bit & 1
+    for var in aig.topo_ands():
+        f0, f1 = aig.fanin0(var), aig.fanin1(var)
+        v0 = values[lit_var(f0)] ^ (f0 & 1)
+        v1 = values[lit_var(f1)] ^ (f1 & 1)
+        values[var] = v0 & v1
+    return {(side, var): val for var, val in values.items()}

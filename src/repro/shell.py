@@ -1,0 +1,206 @@
+"""An ABC-style interactive shell: ``python -m repro shell``.
+
+Holds a current network and applies commands to it, mirroring the ABC
+workflow the paper's engines live in::
+
+    repro> read mult.aig
+    repro> print_stats
+    repro> dacpara -w 40
+    repro> balance; rewrite; refactor
+    repro> cec
+    repro> write opt.aig
+
+Commands can be chained with ``;``.  ``cec`` checks the current network
+against the snapshot taken at the last ``read``/``gen``.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Callable, Dict, List, Optional
+
+from .aig import Aig, read_aiger, write_aag, write_aig
+from .bench import epfl_names, make_epfl, make_mtm, mtm_names
+from .config import dacpara_config, iccad18_config
+from .core import DACParaRewriter
+from .opt import RefactorEngine, ResubEngine, balance, fraig
+from .rewrite import LockFusedRewriter, SerialRewriter
+from .sat import check_equivalence_auto
+
+
+class Shell:
+    """State machine behind the interactive prompt (fully scriptable,
+    which is how the tests drive it)."""
+
+    def __init__(self) -> None:
+        self.aig: Optional[Aig] = None
+        self.original: Optional[Aig] = None
+        self.quit_requested = False
+        self._commands: Dict[str, Callable[[List[str]], str]] = {
+            "read": self._cmd_read,
+            "write": self._cmd_write,
+            "gen": self._cmd_gen,
+            "print_stats": self._cmd_stats,
+            "ps": self._cmd_stats,
+            "rewrite": self._cmd_rewrite,
+            "rw": self._cmd_rewrite,
+            "dacpara": self._cmd_dacpara,
+            "iccad18": self._cmd_iccad18,
+            "balance": self._cmd_balance,
+            "b": self._cmd_balance,
+            "refactor": self._cmd_refactor,
+            "rf": self._cmd_refactor,
+            "resub": self._cmd_resub,
+            "rs": self._cmd_resub,
+            "fraig": self._cmd_fraig,
+            "cec": self._cmd_cec,
+            "help": self._cmd_help,
+            "quit": self._cmd_quit,
+            "exit": self._cmd_quit,
+        }
+
+    # ------------------------------------------------------------------
+
+    def execute(self, line: str) -> str:
+        """Run one input line (possibly ``;``-chained); returns output."""
+        outputs = []
+        for part in line.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            tokens = shlex.split(part)
+            name, args = tokens[0], tokens[1:]
+            handler = self._commands.get(name)
+            if handler is None:
+                outputs.append(f"unknown command {name!r} (try 'help')")
+                continue
+            try:
+                outputs.append(handler(args))
+            except Exception as exc:  # surfaced, not fatal
+                outputs.append(f"error: {exc}")
+        return "\n".join(o for o in outputs if o)
+
+    def _need_network(self) -> Aig:
+        if self.aig is None:
+            raise RuntimeError("no network loaded (use 'read' or 'gen')")
+        return self.aig
+
+    # ------------------------------------------------------------------
+
+    def _cmd_read(self, args: List[str]) -> str:
+        if len(args) != 1:
+            return "usage: read FILE"
+        self.aig = read_aiger(args[0])
+        self.original = self.aig.copy()
+        return self._cmd_stats([])
+
+    def _cmd_write(self, args: List[str]) -> str:
+        if len(args) != 1:
+            return "usage: write FILE"
+        aig = self._need_network()
+        if args[0].endswith(".aag"):
+            write_aag(aig, args[0])
+        else:
+            write_aig(aig, args[0])
+        return f"written: {args[0]}"
+
+    def _cmd_gen(self, args: List[str]) -> str:
+        if len(args) != 1:
+            return f"usage: gen NAME  ({', '.join(epfl_names() + mtm_names())})"
+        name = args[0]
+        if name in epfl_names():
+            self.aig = make_epfl(name)
+        elif name in mtm_names():
+            self.aig = make_mtm(name)
+        else:
+            return f"unknown benchmark {name!r}"
+        self.original = self.aig.copy()
+        return self._cmd_stats([])
+
+    def _cmd_stats(self, args: List[str]) -> str:
+        aig = self._need_network()
+        return (
+            f"{aig.name or 'network'}: pis={aig.num_pis} pos={aig.num_pos} "
+            f"ands={aig.num_ands} depth={aig.max_level()}"
+        )
+
+    @staticmethod
+    def _workers(args: List[str]) -> int:
+        if "-w" in args:
+            return int(args[args.index("-w") + 1])
+        return 8
+
+    def _cmd_rewrite(self, args: List[str]) -> str:
+        result = SerialRewriter().run(self._need_network())
+        return result.summary()
+
+    def _cmd_dacpara(self, args: List[str]) -> str:
+        workers = self._workers(args)
+        result = DACParaRewriter(dacpara_config(workers=workers)).run(
+            self._need_network()
+        )
+        return result.summary()
+
+    def _cmd_iccad18(self, args: List[str]) -> str:
+        workers = self._workers(args)
+        result = LockFusedRewriter(iccad18_config(workers=workers)).run(
+            self._need_network()
+        )
+        return result.summary()
+
+    def _cmd_balance(self, args: List[str]) -> str:
+        aig = self._need_network()
+        new_aig, result = balance(aig)
+        self.aig = new_aig
+        return (
+            f"balance: depth {result.delay_before} -> {result.delay_after}, "
+            f"area {result.area_before} -> {result.area_after}"
+        )
+
+    def _cmd_refactor(self, args: List[str]) -> str:
+        result = RefactorEngine().run(self._need_network())
+        return result.summary()
+
+    def _cmd_resub(self, args: List[str]) -> str:
+        result = ResubEngine().run(self._need_network())
+        return result.summary()
+
+    def _cmd_fraig(self, args: List[str]) -> str:
+        result = fraig(self._need_network())
+        return (
+            f"fraig: {result.proven_merges} merges, area "
+            f"{result.area_before} -> {result.area_after}"
+        )
+
+    def _cmd_cec(self, args: List[str]) -> str:
+        aig = self._need_network()
+        if self.original is None:
+            return "no reference snapshot (use 'read' or 'gen' first)"
+        result = check_equivalence_auto(self.original, aig)
+        return (
+            f"EQUIVALENT ({result.method})"
+            if result.equivalent
+            else f"NOT EQUIVALENT ({result.method}); cex={result.counterexample}"
+        )
+
+    def _cmd_help(self, args: List[str]) -> str:
+        return "commands: " + " ".join(sorted(self._commands))
+
+    def _cmd_quit(self, args: List[str]) -> str:
+        self.quit_requested = True
+        return ""
+
+
+def run_shell() -> int:  # pragma: no cover - interactive loop
+    """Interactive REPL around :class:`Shell`."""
+    shell = Shell()
+    print("repro shell — 'help' lists commands, 'quit' exits")
+    while not shell.quit_requested:
+        try:
+            line = input("repro> ")
+        except EOFError:
+            break
+        output = shell.execute(line)
+        if output:
+            print(output)
+    return 0

@@ -1,0 +1,139 @@
+"""Tests for word-level builders (the generator vocabulary)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aig import Aig, check, simulate
+from repro.aig.build import (
+    barrel_shifter,
+    constant_word,
+    decoder,
+    equals,
+    less_than,
+    multiplier,
+    pi_word,
+    popcount,
+    ripple_adder,
+    ripple_subtractor,
+    squarer,
+    word_mux,
+)
+
+
+def _eval_word(aig: Aig, word, pi_bits):
+    """Evaluate a word of literals under a single input pattern."""
+    from repro.aig.literals import lit_compl, lit_var
+
+    values = {0: 0}
+    for pv, bit in zip(aig.pis, pi_bits):
+        values[pv] = bit & 1
+    for var in aig.topo_ands():
+        f0, f1 = aig.fanins(var)
+        v0 = values[lit_var(f0)] ^ (f0 & 1)
+        v1 = values[lit_var(f1)] ^ (f1 & 1)
+        values[var] = v0 & v1
+    out = 0
+    for i, lit in enumerate(word):
+        out |= (values[lit_var(lit)] ^ (lit & 1)) << i
+    return out
+
+
+def _bits(value, width):
+    return [(value >> i) & 1 for i in range(width)]
+
+
+WIDTH = 4
+
+
+@pytest.mark.parametrize("a,b", [(0, 0), (3, 5), (7, 9), (15, 15), (8, 8)])
+def test_ripple_adder(a, b):
+    aig = Aig()
+    wa, wb = pi_word(aig, WIDTH), pi_word(aig, WIDTH)
+    s, carry = ripple_adder(aig, wa, wb)
+    total = _eval_word(aig, s + [carry], _bits(a, WIDTH) + _bits(b, WIDTH))
+    assert total == a + b
+    check(aig)
+
+
+@pytest.mark.parametrize("a,b", [(0, 0), (9, 5), (5, 9), (15, 1), (7, 7)])
+def test_ripple_subtractor(a, b):
+    aig = Aig()
+    wa, wb = pi_word(aig, WIDTH), pi_word(aig, WIDTH)
+    diff, geq = ripple_subtractor(aig, wa, wb)
+    out = _eval_word(aig, diff, _bits(a, WIDTH) + _bits(b, WIDTH))
+    flag = _eval_word(aig, [geq], _bits(a, WIDTH) + _bits(b, WIDTH))
+    assert out == (a - b) % (1 << WIDTH)
+    assert flag == (1 if a >= b else 0)
+
+
+@pytest.mark.parametrize("a,b", [(0, 0), (3, 5), (7, 15), (12, 12), (15, 15)])
+def test_multiplier(a, b):
+    aig = Aig()
+    wa, wb = pi_word(aig, WIDTH), pi_word(aig, WIDTH)
+    prod = multiplier(aig, wa, wb)
+    out = _eval_word(aig, prod, _bits(a, WIDTH) + _bits(b, WIDTH))
+    assert out == a * b
+
+
+@pytest.mark.parametrize("a", [0, 1, 6, 11, 15])
+def test_squarer(a):
+    aig = Aig()
+    wa = pi_word(aig, WIDTH)
+    sq = squarer(aig, wa)
+    assert _eval_word(aig, sq, _bits(a, WIDTH)) == a * a
+
+
+@pytest.mark.parametrize("a,b", [(0, 1), (5, 5), (9, 3), (3, 9)])
+def test_comparators(a, b):
+    aig = Aig()
+    wa, wb = pi_word(aig, WIDTH), pi_word(aig, WIDTH)
+    lt = less_than(aig, wa, wb)
+    eq = equals(aig, wa, wb)
+    bits = _bits(a, WIDTH) + _bits(b, WIDTH)
+    assert _eval_word(aig, [lt], bits) == (1 if a < b else 0)
+    assert _eval_word(aig, [eq], bits) == (1 if a == b else 0)
+
+
+@pytest.mark.parametrize("a,sh", [(0b1011, 0), (0b1011, 1), (0b1011, 2), (0b1011, 3)])
+def test_barrel_shifter(a, sh):
+    aig = Aig()
+    wa = pi_word(aig, WIDTH)
+    wsh = pi_word(aig, 2)
+    out = barrel_shifter(aig, wa, wsh)
+    bits = _bits(a, WIDTH) + _bits(sh, 2)
+    assert _eval_word(aig, out, bits) == (a << sh) & ((1 << WIDTH) - 1)
+
+
+@pytest.mark.parametrize("sel", range(4))
+def test_decoder(sel):
+    aig = Aig()
+    wsel = pi_word(aig, 2)
+    outs = decoder(aig, wsel)
+    assert len(outs) == 4
+    value = _eval_word(aig, outs, _bits(sel, 2))
+    assert value == 1 << sel
+
+
+@pytest.mark.parametrize("pattern", [0, 0b1, 0b1111, 0b10101, 0b11011, 0b11111])
+def test_popcount(pattern):
+    n = 5
+    aig = Aig()
+    bits = pi_word(aig, n)
+    cnt = popcount(aig, bits)
+    out = _eval_word(aig, cnt, _bits(pattern, n))
+    assert out == bin(pattern).count("1")
+
+
+def test_word_mux():
+    aig = Aig()
+    s = aig.add_pi()
+    t, e = pi_word(aig, 3), pi_word(aig, 3)
+    out = word_mux(aig, s, t, e)
+    for sv in (0, 1):
+        got = _eval_word(aig, out, [sv] + _bits(0b101, 3) + _bits(0b010, 3))
+        assert got == (0b101 if sv else 0b010)
+
+
+def test_constant_word():
+    assert constant_word(0b1010, 4) == [0, 1, 0, 1]

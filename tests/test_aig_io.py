@@ -1,0 +1,112 @@
+"""Tests for AIGER reading and writing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aig import (
+    Aig,
+    check,
+    exhaustive_signatures,
+    lit_not,
+    read_aiger,
+    write_aag,
+    write_aig,
+)
+from repro.errors import AigerFormatError
+
+from conftest import random_aig
+
+
+def test_aag_roundtrip_function(small_aig, tmp_path):
+    path = tmp_path / "c.aag"
+    write_aag(small_aig, path)
+    back = read_aiger(path)
+    check(back)
+    assert exhaustive_signatures(back) == exhaustive_signatures(small_aig)
+
+
+def test_binary_roundtrip_function(small_aig, tmp_path):
+    path = tmp_path / "c.aig"
+    write_aig(small_aig, path)
+    back = read_aiger(path)
+    check(back)
+    assert exhaustive_signatures(back) == exhaustive_signatures(small_aig)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_roundtrip_random(seed, tmp_path):
+    aig = random_aig(num_pis=6, num_nodes=60, num_pos=5, seed=seed)
+    for writer, name in ((write_aag, "r.aag"), (write_aig, "r.aig")):
+        path = tmp_path / name
+        writer(aig, path)
+        back = read_aiger(path)
+        check(back)
+        assert exhaustive_signatures(back) == exhaustive_signatures(aig)
+        # The reader strashes, so it can only shrink the node count.
+        assert back.num_ands <= aig.num_ands
+
+
+def test_roundtrip_preserves_counts(small_aig, tmp_path):
+    path = tmp_path / "c.aig"
+    write_aig(small_aig, path)
+    back = read_aiger(path)
+    assert back.num_pis == small_aig.num_pis
+    assert back.num_pos == small_aig.num_pos
+
+
+def test_constant_po_roundtrip(tmp_path):
+    aig = Aig()
+    aig.add_pi()
+    aig.add_po(0)
+    aig.add_po(1)
+    path = tmp_path / "const.aag"
+    write_aag(aig, path)
+    back = read_aiger(path)
+    assert back.pos == (0, 1)
+
+
+def test_complemented_po_roundtrip(tmp_path):
+    aig = Aig()
+    a, b = aig.add_pi(), aig.add_pi()
+    aig.add_po(lit_not(aig.and_(a, b)))
+    path = tmp_path / "n.aag"
+    write_aag(aig, path)
+    back = read_aiger(path)
+    assert exhaustive_signatures(back) == exhaustive_signatures(aig)
+
+
+def test_name_comment_roundtrip(small_aig, tmp_path):
+    small_aig.name = "my_circuit"
+    path = tmp_path / "named.aag"
+    write_aag(small_aig, path)
+    text = path.read_text()
+    assert "my_circuit" in text
+
+
+def test_reject_latches(tmp_path):
+    path = tmp_path / "latch.aag"
+    path.write_text("aag 3 1 1 1 1\n2\n4 6\n6\n6 2 4\n")
+    with pytest.raises(AigerFormatError):
+        read_aiger(path)
+
+
+def test_reject_garbage(tmp_path):
+    path = tmp_path / "bad.aag"
+    path.write_text("not an aiger file\n")
+    with pytest.raises(AigerFormatError):
+        read_aiger(path)
+
+
+def test_reject_empty(tmp_path):
+    path = tmp_path / "empty.aag"
+    path.write_text("")
+    with pytest.raises(AigerFormatError):
+        read_aiger(path)
+
+
+def test_reject_undefined_literal(tmp_path):
+    path = tmp_path / "undef.aag"
+    path.write_text("aag 2 1 0 1 0\n2\n99\n")
+    with pytest.raises(AigerFormatError):
+        read_aiger(path)

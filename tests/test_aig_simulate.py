@@ -1,0 +1,88 @@
+"""Tests for bit-parallel simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aig import Aig, exhaustive_signatures, lit_not, random_simulation, simulate, simulate_pattern
+from repro.errors import AigError
+
+
+def test_and_truth_table():
+    aig = Aig()
+    a, b = aig.add_pi(), aig.add_pi()
+    aig.add_po(aig.and_(a, b))
+    assert exhaustive_signatures(aig) == [0b1000]
+
+
+def test_or_xor_mux_truth_tables():
+    aig = Aig()
+    a, b = aig.add_pi(), aig.add_pi()
+    aig.add_po(aig.or_(a, b))
+    aig.add_po(aig.xor_(a, b))
+    assert exhaustive_signatures(aig) == [0b1110, 0b0110]
+
+
+def test_mux_semantics():
+    aig = Aig()
+    s, t, e = aig.add_pi(), aig.add_pi(), aig.add_pi()
+    aig.add_po(aig.mux_(s, t, e))
+    for sv in (0, 1):
+        for tv in (0, 1):
+            for ev in (0, 1):
+                (out,) = simulate_pattern(aig, [sv, tv, ev])
+                assert out == (tv if sv else ev)
+
+
+def test_maj3_semantics():
+    aig = Aig()
+    a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+    aig.add_po(aig.maj3_(a, b, c))
+    for k in range(8):
+        bits = [(k >> i) & 1 for i in range(3)]
+        (out,) = simulate_pattern(aig, bits)
+        assert out == (1 if sum(bits) >= 2 else 0)
+
+
+def test_complemented_po():
+    aig = Aig()
+    a = aig.add_pi()
+    aig.add_po(lit_not(a))
+    assert exhaustive_signatures(aig) == [0b01]
+
+
+def test_constant_pos():
+    aig = Aig()
+    aig.add_pi()
+    aig.add_po(0)
+    aig.add_po(1)
+    assert exhaustive_signatures(aig) == [0, 0b11]
+
+
+def test_simulate_wrong_pi_count_raises():
+    aig = Aig()
+    aig.add_pi()
+    aig.add_po(2)
+    with pytest.raises(AigError):
+        simulate(aig, [1, 2], width=4)
+
+
+def test_random_simulation_deterministic():
+    aig = Aig()
+    a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+    aig.add_po(aig.maj3_(a, b, c))
+    assert random_simulation(aig, width=256, seed=7) == random_simulation(
+        aig, width=256, seed=7
+    )
+    assert random_simulation(aig, width=256, seed=7) != random_simulation(
+        aig, width=256, seed=8
+    )
+
+
+def test_exhaustive_too_many_pis_raises():
+    aig = Aig()
+    for _ in range(25):
+        aig.add_pi()
+    aig.add_po(2)
+    with pytest.raises(AigError):
+        exhaustive_signatures(aig)

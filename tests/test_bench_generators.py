@@ -1,0 +1,148 @@
+"""Tests for the benchmark generators: structural invariants, key
+functional properties, and the shape attributes the experiments rely on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aig import check, simulate_pattern
+from repro.bench import (
+    div_like,
+    double,
+    epfl_names,
+    hyp_like,
+    log2_like,
+    make_epfl,
+    make_mtm,
+    mem_ctrl_like,
+    mtm_like,
+    mtm_names,
+    mult_like,
+    sin_like,
+    sqrt_like,
+    square_like,
+    voter_like,
+)
+
+
+def _bits(value, width):
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def _word_value(bits):
+    return sum(b << i for i, b in enumerate(bits))
+
+
+class TestFunctionalProperties:
+    @pytest.mark.parametrize("a,b", [(0, 0), (5, 7), (13, 13), (15, 1)])
+    def test_mult_is_multiplication(self, a, b):
+        aig = mult_like(width=4)
+        outs = simulate_pattern(aig, _bits(a, 4) + _bits(b, 4))
+        assert _word_value(outs) == a * b
+
+    @pytest.mark.parametrize("a", [0, 3, 9, 15])
+    def test_square_is_squaring(self, a):
+        aig = square_like(width=4)
+        outs = simulate_pattern(aig, _bits(a, 4))
+        assert _word_value(outs) == a * a
+
+    @pytest.mark.parametrize("n,d", [(13, 3), (15, 4), (9, 1), (7, 7), (5, 9)])
+    def test_div_is_division(self, n, d):
+        aig = div_like(width=4)
+        outs = simulate_pattern(aig, _bits(n, 4) + _bits(d, 4))
+        q = _word_value(outs[:4])
+        r = _word_value(outs[4:8])
+        if d != 0:
+            assert q == n // d
+            assert r == n % d
+
+    @pytest.mark.parametrize("n", [0, 1, 4, 15, 16, 63, 64, 255])
+    def test_sqrt_is_integer_sqrt(self, n):
+        import math
+
+        aig = sqrt_like(width=4)  # 8-bit input
+        outs = simulate_pattern(aig, _bits(n, 8))
+        root = _word_value(outs[:4])
+        assert root == math.isqrt(n)
+
+    def test_voter_majority(self):
+        aig = voter_like(num_inputs=7)
+        assert simulate_pattern(aig, [1, 1, 1, 1, 0, 0, 0]) == [1]
+        assert simulate_pattern(aig, [1, 1, 1, 0, 0, 0, 0]) == [0]
+        assert simulate_pattern(aig, [1] * 7) == [1]
+        assert simulate_pattern(aig, [0] * 7) == [0]
+
+    def test_log2_priority_position(self):
+        aig = log2_like(width=8)
+        # First 3 POs are the leading-one position.
+        outs = simulate_pattern(aig, _bits(0b00010000, 8))
+        assert _word_value(outs[:3]) == 4
+        outs = simulate_pattern(aig, _bits(0b1, 8))
+        assert _word_value(outs[:3]) == 0
+
+
+class TestStructuralShape:
+    def test_all_generators_pass_check(self):
+        for aig in (
+            sin_like(6), voter_like(31), square_like(6), sqrt_like(5),
+            mult_like(5), log2_like(8), mem_ctrl_like(4, 8),
+            hyp_like(6, 6), div_like(5), mtm_like(16, 400, seed=1),
+        ):
+            check(aig)
+            assert aig.num_ands > 0
+            assert aig.num_pos > 0
+
+    def test_deep_family_is_deep(self):
+        """sqrt/div/hyp must be much deeper per node than mult/mem_ctrl —
+        the property behind the paper's list-count slowdown."""
+        deep = div_like(8)
+        shallow = mem_ctrl_like(5, 12)
+        assert deep.max_level() > 4 * shallow.max_level()
+
+    def test_mtm_has_high_fanout_hubs(self):
+        aig = mtm_like(num_pis=24, num_nodes=1500, seed=16)
+        fanouts = sorted((aig.nref(v) for v in aig.nodes()), reverse=True)
+        assert fanouts[0] >= 30, "MtM-like circuits need hub nodes"
+        assert aig.num_pis == 24
+
+    def test_mtm_deterministic(self):
+        a = mtm_like(num_pis=16, num_nodes=500, seed=3)
+        b = mtm_like(num_pis=16, num_nodes=500, seed=3)
+        assert a.num_ands == b.num_ands
+        assert a.num_pos == b.num_pos
+
+    def test_double_scales_size(self):
+        base = mult_like(4)
+        grown = double(base, times=2)
+        assert grown.num_pis == 4 * base.num_pis
+        assert grown.num_pos == 4 * base.num_pos
+        assert grown.num_ands == 4 * base.num_ands
+        assert grown.max_level() == base.max_level()  # complexity unchanged
+        check(grown)
+
+
+class TestSuite:
+    def test_epfl_names(self):
+        assert set(epfl_names()) == {
+            "sin", "voter", "square", "sqrt", "mult", "log2",
+            "mem_ctrl", "hyp", "div",
+        }
+
+    def test_mtm_names(self):
+        assert mtm_names() == ["sixteen", "twenty", "twentythree"]
+
+    def test_make_epfl_doubles(self):
+        base = make_epfl("mult", doubled=False)
+        grown = make_epfl("mult")
+        assert grown.num_ands >= 2 * base.num_ands
+        assert "xd" in grown.name
+
+    def test_mtm_sizes_increase(self):
+        sizes = [make_mtm(n).num_ands for n in mtm_names()]
+        assert sizes == sorted(sizes)
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(KeyError):
+            make_epfl("adder")
+        with pytest.raises(KeyError):
+            make_mtm("thirty")

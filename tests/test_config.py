@@ -1,0 +1,90 @@
+"""Tests for RewriteConfig and the paper's parameter presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    RewriteConfig,
+    abc_rewrite_config,
+    dacpara_config,
+    dacpara_p1_config,
+    dacpara_p2_config,
+    gpu_config,
+    iccad18_config,
+)
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = RewriteConfig()
+        assert cfg.cut_size == 4
+        assert len(cfg.allowed_classes) == 134
+
+    def test_only_4_input_cuts(self):
+        with pytest.raises(ConfigError):
+            RewriteConfig(cut_size=5)
+
+    def test_passes_positive(self):
+        with pytest.raises(ConfigError):
+            RewriteConfig(passes=0)
+
+    def test_workers_positive(self):
+        with pytest.raises(ConfigError):
+            RewriteConfig(workers=0)
+
+    def test_max_cuts_validation(self):
+        with pytest.raises(ConfigError):
+            RewriteConfig(max_cuts=0)
+        assert RewriteConfig(max_cuts=None).max_cuts is None
+
+    def test_max_structs_validation(self):
+        with pytest.raises(ConfigError):
+            RewriteConfig(max_structs=-1)
+
+    def test_bad_class_set(self):
+        with pytest.raises(ValueError):
+            RewriteConfig(npn_classes="all65536")
+
+    def test_frozen(self):
+        cfg = RewriteConfig()
+        with pytest.raises(Exception):
+            cfg.workers = 99
+
+    def test_with_workers(self):
+        cfg = RewriteConfig().with_workers(16)
+        assert cfg.workers == 16
+
+
+class TestPresets:
+    def test_abc_is_serial(self):
+        assert abc_rewrite_config().workers == 1
+
+    def test_p1_matches_paper(self):
+        """P1: 8 cuts, 5 structures, 2 passes, 134 classes."""
+        cfg = dacpara_p1_config()
+        assert cfg.max_cuts == 8
+        assert cfg.max_structs == 5
+        assert cfg.passes == 2
+        assert cfg.npn_classes == "common134"
+
+    def test_p2_matches_paper(self):
+        """P2: ICCAD'18 settings — unlimited, one pass, 134 classes."""
+        cfg = dacpara_p2_config()
+        assert cfg.max_cuts is None
+        assert cfg.max_structs is None
+        assert cfg.passes == 1
+
+    def test_gpu_matches_paper(self):
+        """GPU works: 222 classes, 8 cuts, 5 structures, 2 executions."""
+        cfg = gpu_config()
+        assert cfg.npn_classes == "all222"
+        assert cfg.max_cuts == 8
+        assert cfg.max_structs == 5
+        assert cfg.passes == 2
+        assert cfg.workers == 9216
+
+    def test_parallel_presets_default_40(self):
+        assert iccad18_config().workers == 40
+        assert dacpara_config().workers == 40

@@ -1,0 +1,99 @@
+"""Determinism and reproducibility guarantees.
+
+Everything in this package is deterministic by construction (seeded
+RNGs, tie-broken heaps, no wall-clock in the cost model); these tests
+pin that property, since the benchmark tables depend on it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import make_epfl, make_mtm, mtm_like
+from repro.config import dacpara_config, iccad18_config
+from repro.core import DACParaRewriter
+from repro.rewrite import LockFusedRewriter, SerialRewriter
+
+from conftest import random_aig
+
+
+def _fingerprint(result):
+    return (
+        result.area_after,
+        result.delay_after,
+        result.replacements,
+        result.makespan_units,
+        result.conflicts,
+        result.aborted_units,
+    )
+
+
+class TestEngineDeterminism:
+    def test_serial_deterministic(self):
+        runs = []
+        for _ in range(2):
+            aig = random_aig(num_pis=7, num_nodes=150, num_pos=6, seed=3)
+            runs.append(_fingerprint(SerialRewriter().run(aig)))
+        assert runs[0] == runs[1]
+
+    def test_dacpara_deterministic(self):
+        runs = []
+        for _ in range(2):
+            aig = mtm_like(num_pis=20, num_nodes=800, seed=7)
+            runs.append(
+                _fingerprint(DACParaRewriter(dacpara_config(workers=8)).run(aig))
+            )
+        assert runs[0] == runs[1]
+
+    def test_lockfused_deterministic_including_conflicts(self):
+        runs = []
+        for _ in range(2):
+            aig = mtm_like(num_pis=20, num_nodes=600, seed=9)
+            runs.append(
+                _fingerprint(
+                    LockFusedRewriter(iccad18_config(workers=8)).run(aig)
+                )
+            )
+        assert runs[0] == runs[1]
+        assert runs[0][4] > 0  # conflicts occurred and reproduced exactly
+
+    def test_worker_count_does_not_change_quality_for_dacpara(self):
+        """Barrier-synchronized stages commit in deterministic order, so
+        the optimization result is independent of the worker count."""
+        areas = set()
+        for workers in (1, 3, 8, 17):
+            aig = mtm_like(num_pis=20, num_nodes=700, seed=4)
+            result = DACParaRewriter(dacpara_config(workers=workers)).run(aig)
+            areas.add(result.area_after)
+        assert len(areas) == 1
+
+
+class TestGeneratorDeterminism:
+    def test_benchmarks_reproducible(self):
+        a = make_mtm("sixteen")
+        b = make_mtm("sixteen")
+        assert a.num_ands == b.num_ands
+        assert a.pos == b.pos
+
+    def test_epfl_reproducible(self):
+        a = make_epfl("log2")
+        b = make_epfl("log2")
+        assert a.num_ands == b.num_ands
+        assert a.max_level() == b.max_level()
+
+
+class TestScaleKnob:
+    def test_repro_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2")
+        big = make_epfl("mult")
+        monkeypatch.setenv("REPRO_SCALE", "1")
+        small = make_epfl("mult")
+        assert big.num_ands == 2 * small.num_ands
+        assert "2xd" in big.name and "1xd" in small.name
+
+    def test_repro_scale_invalid_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "banana")
+        aig = make_epfl("mult")
+        assert aig.num_ands > 0

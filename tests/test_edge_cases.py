@@ -1,0 +1,175 @@
+"""Edge-case coverage across subsystems."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aig import (
+    Aig,
+    check,
+    exhaustive_signatures,
+    lit_not,
+    lit_var,
+    read_aiger,
+    write_aag,
+    write_aig,
+)
+from repro.cuts import CutManager
+from repro.npn import MASK4
+from repro.sat import Solver
+
+from conftest import random_aig
+
+
+class TestBinaryAigerVarints:
+    def test_multibyte_deltas_roundtrip(self, tmp_path):
+        """Circuits with >127 nodes exercise multi-byte AIGER varints."""
+        aig = Aig()
+        lits = [aig.add_pi() for _ in range(8)]
+        rng = random.Random(0)
+        for _ in range(300):
+            a = rng.choice(lits) ^ rng.randint(0, 1)
+            b = rng.choice(lits) ^ rng.randint(0, 1)
+            lits.append(aig.and_(a, b))
+        for _ in range(6):
+            aig.add_po(rng.choice(lits) ^ rng.randint(0, 1))
+        aig.cleanup_dangling()
+        path = tmp_path / "big.aig"
+        write_aig(aig, path)
+        back = read_aiger(path)
+        assert exhaustive_signatures(back) == exhaustive_signatures(aig)
+
+    def test_wide_pi_circuit_roundtrip(self, tmp_path):
+        """Many PIs (literal values above one varint byte)."""
+        aig = Aig()
+        pis = [aig.add_pi() for _ in range(100)]
+        acc = pis[0]
+        for p in pis[1:]:
+            acc = aig.and_(acc, p)
+        aig.add_po(acc)
+        for fmt, name in ((write_aig, "w.aig"), (write_aag, "w.aag")):
+            path = tmp_path / name
+            fmt(aig, path)
+            back = read_aiger(path)
+            assert back.num_pis == 100
+            assert back.num_ands == aig.num_ands
+
+
+class TestSolverStructured:
+    def test_parity_chain_unsat(self):
+        """x1^x2^...^xn == 0 and == 1 simultaneously is UNSAT; encoded
+        via chained XOR definitions — stresses propagation depth."""
+        s = Solver()
+        n = 20
+        xs = [s.new_var() for _ in range(n)]
+        prev = xs[0]
+        for x in xs[1:]:
+            nxt = s.new_var()
+            # nxt = prev xor x
+            s.add_clause([-nxt, prev, x])
+            s.add_clause([-nxt, -prev, -x])
+            s.add_clause([nxt, -prev, x])
+            s.add_clause([nxt, prev, -x])
+            prev = nxt
+        s.add_clause([prev])
+        assert s.solve()
+        assert not s.solve(assumptions=[-prev])
+
+    def test_many_solves_incremental(self):
+        s = Solver()
+        vars_ = [s.new_var() for _ in range(30)]
+        rng = random.Random(1)
+        for _ in range(60):
+            clause = [rng.choice(vars_) * rng.choice((1, -1)) for _ in range(3)]
+            s.add_clause(clause)
+        answers = []
+        for v in vars_[:10]:
+            answers.append((s.solve(assumptions=[v]), s.solve(assumptions=[-v])))
+        # At least one phase of each variable must be extendable unless
+        # the formula forces it; both-False means UNSAT overall.
+        for pos_ok, neg_ok in answers:
+            assert pos_ok or neg_ok or not s.solve()
+
+    def test_model_stability_after_unsat_probe(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        assert s.solve(assumptions=[a])
+        assert s.model_value(a) == 1
+        assert not s.solve(assumptions=[-a, -b])
+        assert s.solve()  # solver still usable
+
+
+class TestCutManagerEdges:
+    def test_relaxed_after_graph_shrinks(self):
+        """Cut cache keeps working when most of the graph is deleted."""
+        aig = random_aig(num_pis=6, num_nodes=80, num_pos=4, seed=6)
+        mgr = CutManager(aig)
+        for var in aig.topo_ands():
+            mgr.cuts(var)
+        # Nuke everything by pointing all POs at a PI.
+        for idx in range(aig.num_pos):
+            aig.set_po(idx, 2 * aig.pis[0])
+        assert aig.num_ands == 0
+        # Fresh nodes still enumerate fine (ids recycled).
+        a, b = 2 * aig.pis[0], 2 * aig.pis[1]
+        f = aig.and_(a, b)
+        aig.add_po(f)
+        cuts = mgr.fresh_cuts(lit_var(f))
+        assert cuts
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=15, deadline=None)
+    def test_cut_tts_stable_under_recompute(self, seed):
+        aig = random_aig(num_pis=5, num_nodes=40, num_pos=4, seed=seed)
+        m1 = CutManager(aig)
+        m2 = CutManager(aig)
+        for var in aig.topo_ands():
+            c1 = {(c.leaves, c.tt) for c in m1.cuts(var)}
+            c2 = {(c.leaves, c.tt) for c in m2.cuts(var)}
+            assert c1 == c2
+
+
+class TestGraphEdges:
+    def test_po_directly_on_constant(self):
+        aig = Aig()
+        aig.add_pi()
+        idx = aig.add_po(1)
+        assert aig.po_lit(idx) == 1
+        check(aig)
+
+    def test_many_pos_on_same_node(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        f = aig.and_(a, b)
+        for i in range(5):
+            aig.add_po(f ^ (i & 1))
+        assert aig.nref(lit_var(f)) == 5
+        aig.replace(lit_var(f), a)
+        assert aig.pos == (2, 3, 2, 3, 2)
+        check(aig)
+
+    def test_replace_node_driving_everything(self):
+        aig = random_aig(num_pis=5, num_nodes=60, num_pos=5, seed=12)
+        # Pick the highest-fanout node and wire it to a PI.
+        hub = max(aig.ands(), key=aig.nref)
+        aig.replace(hub, 2 * aig.pis[0])
+        check(aig)
+
+    def test_deep_cascade_replace(self):
+        """Replacing at the bottom of a long chain cascades levels all
+        the way up without recursion errors."""
+        aig = Aig()
+        x = aig.add_pi()
+        extra = [aig.add_pi() for _ in range(3)]
+        base = aig.and_(x, extra[0])
+        acc = base
+        for i in range(2000):
+            acc = aig.and_(acc, extra[(i % 2) + 1])
+        aig.add_po(acc)
+        aig.replace(lit_var(base), x)
+        check(aig)
+        assert aig.max_level() <= 2001

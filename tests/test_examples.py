@@ -1,0 +1,34 @@
+"""Smoke tests: every example script must run cleanly."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "epfl_flow.py", "stale_cut_demo.py",
+            "parallel_scaling.py"} <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    if script.name in ("epfl_flow.py", "parallel_scaling.py",
+                       "optimization_flow.py"):
+        pytest.skip("long-running example; exercised by the benchmarks")
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip()

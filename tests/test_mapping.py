@@ -1,0 +1,115 @@
+"""Tests for the k-LUT mapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aig import Aig, exhaustive_signatures
+from repro.aig.build import multiplier, pi_word
+from repro.errors import CutError
+from repro.mapping import map_luts
+
+from conftest import random_aig
+
+
+def _lut_signatures(network, num_pis):
+    width = 1 << num_pis
+    vecs = []
+    for i in range(num_pis):
+        block = (1 << (1 << i)) - 1
+        period = 1 << (i + 1)
+        tt = 0
+        for start in range(1 << i, width, period):
+            tt |= block << start
+        vecs.append(tt)
+    return network.simulate(vecs, width)
+
+
+class TestMappingCorrectness:
+    @pytest.mark.parametrize("k", [2, 4, 6])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_function_preserved(self, k, seed):
+        aig = random_aig(num_pis=6, num_nodes=80, num_pos=6, seed=seed)
+        network, result = map_luts(aig, k=k)
+        assert _lut_signatures(network, aig.num_pis) == exhaustive_signatures(aig)
+        assert result.num_luts == network.num_luts
+
+    def test_multiplier_maps(self):
+        aig = Aig()
+        a, b = pi_word(aig, 3), pi_word(aig, 3)
+        for bit in multiplier(aig, a, b):
+            aig.add_po(bit)
+        network, result = map_luts(aig, k=4)
+        assert _lut_signatures(network, 6) == exhaustive_signatures(aig)
+        assert result.num_luts < aig.num_ands
+
+    def test_cover_is_closed(self):
+        """Every LUT leaf must be a PI, constant, or another LUT output."""
+        aig = random_aig(num_pis=6, num_nodes=100, num_pos=6, seed=7)
+        network, _ = map_luts(aig, k=5)
+        produced = set(network.pis) | {0}
+        for lut in network.luts:
+            for leaf in lut.leaves:
+                assert leaf in produced, f"leaf {leaf} not yet produced"
+            produced.add(lut.output)
+
+    def test_po_on_pi_and_constant(self):
+        aig = Aig()
+        a = aig.add_pi()
+        aig.add_po(a)
+        aig.add_po(0)
+        aig.add_po(a ^ 1)
+        network, result = map_luts(aig)
+        assert result.num_luts == 0
+        assert _lut_signatures(network, 1) == exhaustive_signatures(aig)
+
+
+class TestMappingQuality:
+    def test_fewer_luts_than_nodes(self):
+        for seed in range(4):
+            aig = random_aig(num_pis=7, num_nodes=150, num_pos=6, seed=seed)
+            _, result = map_luts(aig, k=6)
+            assert result.num_luts < aig.num_ands
+
+    def test_bigger_k_never_more_depth(self):
+        aig = random_aig(num_pis=7, num_nodes=150, num_pos=6, seed=3)
+        _, r2 = map_luts(aig, k=2)
+        _, r6 = map_luts(aig, k=6)
+        assert r6.depth <= r2.depth
+
+    def test_mapped_depth_at_most_aig_depth(self):
+        for seed in range(4):
+            aig = random_aig(num_pis=6, num_nodes=120, num_pos=5, seed=seed + 30)
+            _, result = map_luts(aig, k=4)
+            assert result.depth <= result.aig_depth
+
+    def test_area_recovery_does_not_deepen(self):
+        aig = random_aig(num_pis=7, num_nodes=200, num_pos=8, seed=9)
+        _, with_recovery = map_luts(aig, k=6, area_passes=3)
+        _, without = map_luts(aig, k=6, area_passes=0)
+        assert with_recovery.depth <= without.depth + 0  # depth preserved
+        assert with_recovery.num_luts <= without.num_luts
+
+
+class TestMappingGuards:
+    def test_bad_k_rejected(self):
+        aig = random_aig(seed=0)
+        with pytest.raises(CutError):
+            map_luts(aig, k=1)
+        with pytest.raises(CutError):
+            map_luts(aig, k=20)
+
+
+from hypothesis import given, settings, strategies as st
+
+
+class TestMappingProperties:
+    @given(st.integers(0, 5000), st.integers(2, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_random_circuits_random_k(self, seed, k):
+        """Property: for any circuit and LUT size, the mapped network is
+        functionally identical and uses no more LUTs than AND nodes."""
+        aig = random_aig(num_pis=5, num_nodes=60, num_pos=4, seed=seed)
+        network, result = map_luts(aig, k=k)
+        assert _lut_signatures(network, aig.num_pis) == exhaustive_signatures(aig)
+        assert result.num_luts <= aig.num_ands

@@ -1,0 +1,163 @@
+"""Tests for the Majority-Inverter Graph substrate."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aig import Aig, exhaustive_signatures
+from repro.aig.build import pi_word, ripple_adder
+from repro.mig import Mig, aig_to_mig, mig_to_aig, rewrite_depth
+
+from conftest import random_aig
+
+
+def _mig_signatures(mig):
+    n = mig.num_pis
+    width = 1 << n
+    vecs = []
+    for i in range(n):
+        block = (1 << (1 << i)) - 1
+        period = 1 << (i + 1)
+        tt = 0
+        for start in range(1 << i, width, period):
+            tt |= block << start
+        vecs.append(tt)
+    return mig.simulate(vecs, width)
+
+
+class TestMigBasics:
+    def test_majority_semantics(self):
+        mig = Mig()
+        a, b, c = mig.add_pi(), mig.add_pi(), mig.add_pi()
+        mig.add_po(mig.maj_(a, b, c))
+        (sig,) = _mig_signatures(mig)
+        for k in range(8):
+            bits = [(k >> i) & 1 for i in range(3)]
+            assert ((sig >> k) & 1) == (1 if sum(bits) >= 2 else 0)
+
+    def test_and_or_special_cases(self):
+        mig = Mig()
+        a, b = mig.add_pi(), mig.add_pi()
+        mig.add_po(mig.and_(a, b))
+        mig.add_po(mig.or_(a, b))
+        assert _mig_signatures(mig) == [0b1000, 0b1110]
+
+    def test_folding_rules(self):
+        mig = Mig()
+        a, b = mig.add_pi(), mig.add_pi()
+        assert mig.maj_(a, a, b) == a          # duplicated input
+        assert mig.maj_(a, a ^ 1, b) == b      # complementary inputs
+        assert mig.num_majs == 0
+
+    def test_strashing(self):
+        mig = Mig()
+        a, b, c = mig.add_pi(), mig.add_pi(), mig.add_pi()
+        assert mig.maj_(a, b, c) == mig.maj_(c, a, b)
+        assert mig.num_majs == 1
+
+    def test_self_duality_canonicalization(self):
+        """M(~a,~b,~c) must share the node of M(a,b,c), complemented."""
+        mig = Mig()
+        a, b, c = mig.add_pi(), mig.add_pi(), mig.add_pi()
+        m1 = mig.maj_(a, b, c)
+        m2 = mig.maj_(a ^ 1, b ^ 1, c ^ 1)
+        assert m2 == (m1 ^ 1)
+        assert mig.num_majs == 1
+
+
+class TestConversion:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_aig_to_mig_preserves_function(self, seed):
+        aig = random_aig(num_pis=5, num_nodes=60, num_pos=5, seed=seed)
+        mig = aig_to_mig(aig)
+        assert _mig_signatures(mig) == exhaustive_signatures(aig)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_roundtrip_preserves_function(self, seed):
+        aig = random_aig(num_pis=5, num_nodes=60, num_pos=5, seed=seed)
+        back = mig_to_aig(aig_to_mig(aig))
+        assert exhaustive_signatures(back) == exhaustive_signatures(aig)
+
+    def test_adder_mig_size_reasonable(self):
+        """A ripple adder's majority carries map 1:1 onto MIG nodes, so
+        the MIG must not be larger than the AIG."""
+        aig = Aig()
+        a, b = pi_word(aig, 4), pi_word(aig, 4)
+        s, cy = ripple_adder(aig, a, b)
+        for bit in s + [cy]:
+            aig.add_po(bit)
+        mig = aig_to_mig(aig)
+        assert mig.num_majs <= aig.num_ands
+
+
+class TestDepthRewrite:
+    def test_unbalanced_and_chain_gets_shallower(self):
+        mig = Mig()
+        pis = [mig.add_pi() for _ in range(8)]
+        acc = pis[0]
+        for p in pis[1:]:
+            acc = mig.and_(acc, p)
+        mig.add_po(acc)
+        depth_before = mig.max_level()
+        optimized, result = rewrite_depth(mig, passes=4)
+        assert optimized.max_level() < depth_before
+        assert result.depth_reduction > 0
+        assert _mig_signatures(optimized) == _mig_signatures(mig)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_function_preserved_on_random(self, seed):
+        aig = random_aig(num_pis=5, num_nodes=80, num_pos=5, seed=seed)
+        mig = aig_to_mig(aig)
+        optimized, result = rewrite_depth(mig)
+        assert _mig_signatures(optimized) == _mig_signatures(mig)
+        assert result.depth_after <= result.depth_before
+
+    def test_never_deepens(self):
+        for seed in range(8):
+            aig = random_aig(num_pis=6, num_nodes=100, num_pos=5, seed=seed + 10)
+            mig = aig_to_mig(aig)
+            optimized, _ = rewrite_depth(mig)
+            assert optimized.max_level() <= mig.max_level()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_random_migs(self, seed):
+        rng = random.Random(seed)
+        mig = Mig()
+        lits = [mig.add_pi() for _ in range(4)]
+        for _ in range(25):
+            a, b, c = (rng.choice(lits) ^ rng.randint(0, 1) for _ in range(3))
+            lits.append(mig.maj_(a, b, c))
+        mig.add_po(lits[-1])
+        mig.add_po(rng.choice(lits))
+        optimized, _ = rewrite_depth(mig)
+        assert _mig_signatures(optimized) == _mig_signatures(mig)
+
+
+class TestParallelMigRewrite:
+    def test_same_result_as_serial(self):
+        """The level barrier makes the parallel reconstruction
+        decision-equivalent to the serial one."""
+        from repro.mig import parallel_rewrite_depth, rewrite_depth
+
+        aig = random_aig(num_pis=6, num_nodes=150, num_pos=6, seed=21)
+        mig = aig_to_mig(aig)
+        serial, s_result = rewrite_depth(mig)
+        parallel, p_result, _ = parallel_rewrite_depth(mig, workers=8)
+        assert parallel.num_majs == serial.num_majs
+        assert parallel.max_level() == serial.max_level()
+        assert p_result.moves == s_result.moves
+        assert _mig_signatures(parallel) == _mig_signatures(mig)
+
+    def test_parallel_speedup_in_simulated_time(self):
+        from repro.mig import parallel_rewrite_depth
+
+        aig = random_aig(num_pis=8, num_nodes=400, num_pos=8, seed=5)
+        mig = aig_to_mig(aig)
+        _, _, stats1 = parallel_rewrite_depth(mig, workers=1)
+        _, _, stats8 = parallel_rewrite_depth(mig, workers=8)
+        assert stats8.makespan < stats1.makespan
+        assert stats8.total_conflicts == 0  # decision stage is lock-free

@@ -1,0 +1,87 @@
+"""Tests for the balancing pass."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aig import Aig, check, exhaustive_signatures
+from repro.opt import balance
+
+from conftest import random_aig
+
+
+def test_chain_becomes_tree():
+    """An 8-input AND chain (depth 7) must balance to depth 3."""
+    aig = Aig()
+    pis = [aig.add_pi() for _ in range(8)]
+    acc = pis[0]
+    for p in pis[1:]:
+        acc = aig.and_(acc, p)
+    aig.add_po(acc)
+    assert aig.max_level() == 7
+    balanced, result = balance(aig)
+    assert balanced.max_level() == 3
+    assert result.delay_reduction == 4
+    assert exhaustive_signatures(balanced) == exhaustive_signatures(aig)
+    check(balanced)
+
+
+def test_or_chain_balances_too():
+    aig = Aig()
+    pis = [aig.add_pi() for _ in range(8)]
+    acc = pis[0]
+    for p in pis[1:]:
+        acc = aig.or_(acc, p)
+    aig.add_po(acc)
+    balanced, _ = balance(aig)
+    assert balanced.max_level() == 3
+    assert exhaustive_signatures(balanced) == exhaustive_signatures(aig)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_function_preserved_on_random(seed):
+    aig = random_aig(num_pis=6, num_nodes=80, num_pos=6, seed=seed)
+    balanced, result = balance(aig)
+    assert exhaustive_signatures(balanced) == exhaustive_signatures(aig)
+    check(balanced)
+    assert result.delay_after <= result.delay_before
+
+
+def test_never_increases_depth():
+    for seed in range(10):
+        aig = random_aig(num_pis=7, num_nodes=120, num_pos=6, seed=seed + 100)
+        depth_before = aig.max_level()
+        balanced, _ = balance(aig)
+        assert balanced.max_level() <= depth_before
+
+
+def test_shared_nodes_not_duplicated():
+    """A shared AND node must stay a super-gate leaf, not be flattened
+    into both consumers."""
+    aig = Aig()
+    a, b, c, d = (aig.add_pi() for _ in range(4))
+    shared = aig.and_(a, b)
+    f = aig.and_(shared, c)
+    g = aig.and_(shared, d)
+    aig.add_po(f)
+    aig.add_po(g)
+    balanced, _ = balance(aig)
+    assert balanced.num_ands <= aig.num_ands
+    assert exhaustive_signatures(balanced) == exhaustive_signatures(aig)
+
+
+def test_input_untouched():
+    aig = random_aig(seed=1)
+    gen = aig.generation
+    balance(aig)
+    assert aig.generation == gen
+
+
+def test_constant_and_pi_pos():
+    aig = Aig()
+    a = aig.add_pi()
+    aig.add_po(a)
+    aig.add_po(0)
+    aig.add_po(1)
+    balanced, _ = balance(aig)
+    assert exhaustive_signatures(balanced) == exhaustive_signatures(aig)

@@ -1,0 +1,106 @@
+"""Tests for fraiging and the optimization flows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aig import Aig, check, exhaustive_signatures, lit_not
+from repro.opt import FLOW_SCRIPTS, fraig, run_flow
+
+from conftest import random_aig
+
+
+class TestFraig:
+    def test_merges_functional_duplicates(self):
+        """x XOR y built twice with different structures: strashing
+        cannot merge them, fraig must."""
+        aig = Aig()
+        x, y = aig.add_pi(), aig.add_pi()
+        xor1 = lit_not(
+            aig.and_(lit_not(aig.and_(x, lit_not(y))),
+                     lit_not(aig.and_(lit_not(x), y)))
+        )
+        # xor via (x|y) & ~(x&y)
+        xor2 = aig.and_(aig.or_(x, y), lit_not(aig.and_(x, y)))
+        aig.add_po(xor1)
+        aig.add_po(xor2)
+        sigs = exhaustive_signatures(aig)
+        result = fraig(aig)
+        assert result.proven_merges >= 1
+        assert aig.num_ands < result.area_before
+        assert exhaustive_signatures(aig) == sigs
+        assert aig.pos[0] in (aig.pos[1], aig.pos[1] ^ 1)
+        check(aig)
+
+    def test_merges_complemented_equivalences(self):
+        aig = Aig()
+        x, y = aig.add_pi(), aig.add_pi()
+        nand_ = lit_not(aig.and_(x, y))
+        or_of_nots = aig.or_(lit_not(x), lit_not(y))  # same function
+        aig.add_po(nand_)
+        aig.add_po(or_of_nots)
+        sigs = exhaustive_signatures(aig)
+        fraig(aig)
+        assert exhaustive_signatures(aig) == sigs
+        assert aig.num_ands == 1
+        check(aig)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_function_preserved_on_random(self, seed):
+        aig = random_aig(num_pis=6, num_nodes=120, num_pos=6, seed=seed)
+        sigs = exhaustive_signatures(aig)
+        result = fraig(aig)
+        assert exhaustive_signatures(aig) == sigs
+        check(aig)
+        assert result.area_reduction >= 0
+
+    def test_short_signatures_still_sound(self):
+        """Tiny simulation width = many false candidates; SAT filtering
+        must keep the result correct."""
+        aig = random_aig(num_pis=6, num_nodes=100, num_pos=5, seed=11)
+        sigs = exhaustive_signatures(aig)
+        result = fraig(aig, sim_width=4)
+        assert exhaustive_signatures(aig) == sigs
+        assert result.disproved >= 0
+        check(aig)
+
+
+class TestFlows:
+    def test_unknown_script(self):
+        aig = random_aig(seed=0)
+        with pytest.raises(KeyError):
+            run_flow(aig, script="magic")
+
+    @pytest.mark.parametrize("script", ["rw", "compress", "resyn", "resyn2rs"])
+    def test_flows_preserve_function(self, script):
+        aig = random_aig(num_pis=6, num_nodes=120, num_pos=6, seed=5)
+        sigs = exhaustive_signatures(aig)
+        optimized, trace = run_flow(aig.copy(), script=script, workers=4)
+        assert exhaustive_signatures(optimized) == sigs
+        check(optimized)
+        assert trace.steps[0].name == "input"
+        assert len(trace.steps) == len(FLOW_SCRIPTS[script]) + 1
+
+    def test_resyn2_beats_single_rewrite(self):
+        """The full flow must reduce at least as much as one pass."""
+        total_flow = total_single = 0
+        for seed in range(3):
+            a = random_aig(num_pis=7, num_nodes=200, num_pos=6, seed=seed)
+            b = a.copy()
+            opt_flow, _ = run_flow(a, script="resyn2", workers=4)
+            opt_single, _ = run_flow(b, script="rw", workers=4)
+            total_flow += opt_flow.num_ands
+            total_single += opt_single.num_ands
+        assert total_flow <= total_single
+
+    def test_serial_flow_variant(self):
+        aig = random_aig(num_pis=6, num_nodes=100, num_pos=5, seed=9)
+        sigs = exhaustive_signatures(aig)
+        optimized, _ = run_flow(aig, script="compress", parallel=False)
+        assert exhaustive_signatures(optimized) == sigs
+
+    def test_trace_summary(self):
+        aig = random_aig(num_pis=6, num_nodes=80, num_pos=4, seed=2)
+        _, trace = run_flow(aig, script="rw", workers=2)
+        text = trace.summary()
+        assert "input" in text and "rw" in text

@@ -1,0 +1,92 @@
+"""Tests for the prepInfo container and RewriteResult accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PrepInfo
+from repro.rewrite import RewriteResult
+from repro.rewrite.base import Candidate
+from repro.cuts import Cut
+from repro.npn import npn_canon
+from repro.library import get_library
+
+
+def _dummy_candidate(root=7, gain=2):
+    canon, transform = npn_canon(0x8888)
+    return Candidate(
+        root=root, root_stamp=1, root_life=1,
+        cut=Cut(leaves=(1, 2), tt=0b1000, leaf_stamps=(1, 2)),
+        canon_tt=canon, transform=transform,
+        structure=get_library().structures(canon)[0],
+        gain=gain, new_root_level=3,
+    )
+
+
+class TestPrepInfo:
+    def test_store_and_get(self):
+        info = PrepInfo()
+        cand = _dummy_candidate()
+        info.store(7, cand)
+        assert info.get(7) is cand
+        assert len(info) == 1
+        assert info.stored == 1
+
+    def test_store_none_counts_skip(self):
+        info = PrepInfo()
+        info.store(3, None)
+        assert info.get(3) is None
+        assert info.skipped == 1
+        assert len(info) == 0
+
+    def test_store_none_clears_slot(self):
+        info = PrepInfo()
+        info.store(7, _dummy_candidate())
+        info.store(7, None)
+        assert info.get(7) is None
+
+    def test_pop(self):
+        info = PrepInfo()
+        cand = _dummy_candidate()
+        info.store(9, cand)
+        assert info.pop(9) is cand
+        assert info.pop(9) is None
+
+    def test_items_sorted(self):
+        info = PrepInfo()
+        info.store(9, _dummy_candidate(9))
+        info.store(2, _dummy_candidate(2))
+        assert [k for k, _ in info.items()] == [2, 9]
+
+    def test_clear(self):
+        info = PrepInfo()
+        info.store(1, _dummy_candidate(1))
+        info.clear()
+        assert len(info) == 0
+
+
+class TestRewriteResult:
+    def _result(self, **kw):
+        base = dict(
+            engine="x", workers=4, area_before=100, area_after=90,
+            delay_before=10, delay_after=10,
+        )
+        base.update(kw)
+        return RewriteResult(**base)
+
+    def test_area_reduction(self):
+        assert self._result().area_reduction == 10
+        assert self._result().area_reduction_pct == pytest.approx(10.0)
+
+    def test_area_reduction_pct_zero_area(self):
+        assert self._result(area_before=0, area_after=0).area_reduction_pct == 0.0
+
+    def test_speedup_vs_serial_work(self):
+        r = self._result(work_units=1000, makespan_units=250)
+        assert r.speedup_vs_serial_work == pytest.approx(4.0)
+        assert self._result(makespan_units=0).speedup_vs_serial_work == 1.0
+
+    def test_summary_mentions_engine_and_area(self):
+        text = self._result().summary()
+        assert "x[4w]" in text
+        assert "100 -> 90" in text

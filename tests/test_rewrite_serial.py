@@ -1,0 +1,105 @@
+"""Tests for the serial (ABC-model) rewriting engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aig import Aig, check, exhaustive_signatures, lit_not
+from repro.config import RewriteConfig, abc_rewrite_config
+from repro.rewrite import SerialRewriter
+
+from conftest import random_aig
+
+
+def _assert_equivalent(before_sigs, aig):
+    assert exhaustive_signatures(aig) == before_sigs
+
+
+class TestSerialRewriter:
+    def test_reduces_redundant_circuit(self):
+        """Two differently-associated computations of a & b & c & d:
+        rewriting must collapse them onto shared logic."""
+        aig = Aig()
+        a, b, c, d = (aig.add_pi() for _ in range(4))
+        f = aig.and_(aig.and_(a, b), aig.and_(c, d))
+        g = aig.and_(a, aig.and_(b, aig.and_(c, d)))
+        aig.add_po(f)
+        aig.add_po(g)
+        before = aig.num_ands
+        sigs = exhaustive_signatures(aig)
+        result = SerialRewriter(RewriteConfig(npn_classes="all222")).run(aig)
+        assert aig.num_ands < before
+        assert result.area_reduction == before - aig.num_ands
+        _assert_equivalent(sigs, aig)
+        check(aig)
+
+    def test_mux_of_equal_branches_simplifies(self):
+        """mux(s, f, f) == f: rewriting should erase the mux."""
+        aig = Aig()
+        s, a, b = aig.add_pi(), aig.add_pi(), aig.add_pi()
+        f = aig.and_(a, b)
+        g = aig.and_(a, lit_not(b))
+        # Build both mux branches as distinct structures of (f | g).
+        t = aig.or_(f, g)
+        e = aig.and_(a, aig.or_(b, lit_not(b)))  # also == a, redundantly
+        out = aig.mux_(s, t, e)
+        aig.add_po(out)
+        sigs = exhaustive_signatures(aig)
+        before = aig.num_ands
+        SerialRewriter(RewriteConfig(npn_classes="all222")).run(aig)
+        assert aig.num_ands < before
+        _assert_equivalent(sigs, aig)
+        check(aig)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_function_preserved_on_random_circuits(self, seed):
+        aig = random_aig(num_pis=6, num_nodes=80, num_pos=6, seed=seed)
+        sigs = exhaustive_signatures(aig)
+        result = SerialRewriter().run(aig)
+        _assert_equivalent(sigs, aig)
+        check(aig)
+        assert result.area_after == aig.num_ands
+        assert result.area_reduction >= 0
+
+    def test_all222_never_worse_than_common134(self):
+        """More classes can only help quality (same circuit, same seed)."""
+        a134 = random_aig(num_pis=6, num_nodes=120, num_pos=6, seed=42)
+        a222 = a134.copy()
+        r134 = SerialRewriter(RewriteConfig(npn_classes="common134")).run(a134)
+        r222 = SerialRewriter(RewriteConfig(npn_classes="all222")).run(a222)
+        assert r222.area_reduction >= r134.area_reduction
+
+    def test_multipass_converges(self):
+        aig = random_aig(num_pis=6, num_nodes=100, num_pos=5, seed=7)
+        sigs = exhaustive_signatures(aig)
+        result = SerialRewriter(
+            RewriteConfig(npn_classes="all222", passes=4)
+        ).run(aig)
+        _assert_equivalent(sigs, aig)
+        # Convergence: a fresh run on the result makes no further change.
+        again = SerialRewriter(RewriteConfig(npn_classes="all222")).run(aig)
+        assert again.area_reduction == 0
+
+    def test_result_accounting(self):
+        aig = random_aig(num_pis=6, num_nodes=80, num_pos=5, seed=3)
+        result = SerialRewriter().run(aig)
+        assert result.workers == 1
+        assert result.work_units == result.makespan_units
+        assert result.work_units > 0
+        assert result.delay_after == aig.max_level()
+        assert result.engine == "abc-serial"
+
+    def test_preserve_level_config(self):
+        aig = random_aig(num_pis=6, num_nodes=100, num_pos=5, seed=11)
+        depth_before = aig.max_level()
+        SerialRewriter(
+            RewriteConfig(npn_classes="all222", preserve_level=True)
+        ).run(aig)
+        assert aig.max_level() <= depth_before
+
+    def test_empty_circuit(self):
+        aig = Aig()
+        aig.add_pi()
+        aig.add_po(2)
+        result = SerialRewriter().run(aig)
+        assert result.area_reduction == 0

@@ -1,0 +1,226 @@
+"""Tests for the CDCL solver and the equivalence checker."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aig import Aig, lit_not, lit_var
+from repro.errors import SatError
+from repro.sat import Solver, build_miter, check_equivalence, encode_aig
+
+from conftest import random_aig
+
+
+class TestSolverBasics:
+    def test_empty_formula_is_sat(self):
+        assert Solver().solve()
+
+    def test_unit_clause(self):
+        s = Solver()
+        v = s.new_var()
+        s.add_clause([v])
+        assert s.solve()
+        assert s.model_value(v) == 1
+
+    def test_contradiction(self):
+        s = Solver()
+        v = s.new_var()
+        s.add_clause([v])
+        assert not s.add_clause([-v]) or not s.solve()
+
+    def test_simple_implication_chain(self):
+        s = Solver()
+        a, b, c = s.new_var(), s.new_var(), s.new_var()
+        s.add_clause([-a, b])
+        s.add_clause([-b, c])
+        s.add_clause([a])
+        assert s.solve()
+        assert s.model_value(a) == s.model_value(b) == s.model_value(c) == 1
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        """PHP(3,2): classic small UNSAT instance needing real search."""
+        s = Solver()
+        p = [[s.new_var() for _ in range(2)] for _ in range(3)]
+        for i in range(3):
+            s.add_clause([p[i][0], p[i][1]])
+        for hole in range(2):
+            for i in range(3):
+                for j in range(i + 1, 3):
+                    s.add_clause([-p[i][hole], -p[j][hole]])
+        assert not s.solve()
+
+    def test_assumptions(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([-a, b])
+        assert s.solve(assumptions=[a])
+        assert s.model_value(b) == 1
+        assert s.solve(assumptions=[a, -b]) is False
+        assert s.solve(assumptions=[-a])  # still satisfiable without a
+
+    def test_out_of_range_literal(self):
+        s = Solver()
+        with pytest.raises(SatError):
+            s.add_clause([1])
+
+    def test_tautology_ignored(self):
+        s = Solver()
+        v = s.new_var()
+        assert s.add_clause([v, -v])
+        assert s.solve()
+
+
+class TestSolverRandom:
+    @staticmethod
+    def _brute_force(num_vars, clauses):
+        for bits in range(1 << num_vars):
+            ok = True
+            for clause in clauses:
+                if not any(
+                    ((bits >> (abs(l) - 1)) & 1) == (1 if l > 0 else 0)
+                    for l in clause
+                ):
+                    ok = False
+                    break
+            if ok:
+                return True
+        return False
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=60, deadline=None)
+    def test_random_3sat_matches_bruteforce(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(3, 9)
+        num_clauses = rng.randint(2, int(4.5 * num_vars))
+        clauses = []
+        for _ in range(num_clauses):
+            width = rng.randint(1, 3)
+            clause = []
+            for _ in range(width):
+                v = rng.randint(1, num_vars)
+                clause.append(v if rng.random() < 0.5 else -v)
+            clauses.append(clause)
+        s = Solver()
+        for _ in range(num_vars):
+            s.new_var()
+        ok = True
+        for clause in clauses:
+            if not s.add_clause(clause):
+                ok = False
+                break
+        result = ok and s.solve()
+        expected = self._brute_force(num_vars, clauses)
+        assert result == expected
+        if result:
+            # Verify the returned model actually satisfies the formula.
+            for clause in clauses:
+                assert any(
+                    s.model_value(abs(l)) == (1 if l > 0 else 0) for l in clause
+                )
+
+
+class TestEncoding:
+    def test_encode_and_gate(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        aig.add_po(aig.and_(a, b))
+        s = Solver()
+        pis = [s.new_var() for _ in range(2)]
+        (out,) = encode_aig(aig, s, pis)
+        # out must be forced to pis[0] & pis[1] under every assignment.
+        for va in (1, -1):
+            for vb in (1, -1):
+                assert s.solve(assumptions=[va * pis[0], vb * pis[1]])
+                expected = 1 if (va > 0 and vb > 0) else 0
+                got = s.model_value(abs(out)) if out > 0 else 1 - s.model_value(abs(out))
+                assert got == expected
+
+
+class TestEquivalence:
+    def test_identical_circuits(self, small_aig):
+        assert check_equivalence(small_aig, small_aig.copy())
+
+    def test_structurally_different_equivalent(self):
+        a1 = Aig()
+        x, y, z = a1.add_pi(), a1.add_pi(), a1.add_pi()
+        a1.add_po(a1.and_(a1.and_(x, y), z))
+        a2 = Aig()
+        x, y, z = a2.add_pi(), a2.add_pi(), a2.add_pi()
+        a2.add_po(a2.and_(x, a2.and_(y, z)))
+        result = check_equivalence(a1, a2)
+        assert result.equivalent
+
+    def test_inequivalent_found_by_simulation(self):
+        a1 = Aig()
+        x, y = a1.add_pi(), a1.add_pi()
+        a1.add_po(a1.and_(x, y))
+        a2 = Aig()
+        x, y = a2.add_pi(), a2.add_pi()
+        a2.add_po(a2.or_(x, y))
+        result = check_equivalence(a1, a2)
+        assert not result.equivalent
+        assert result.counterexample is not None
+        # The counterexample must actually distinguish the circuits.
+        from repro.aig import simulate_pattern
+
+        o1 = simulate_pattern(a1, result.counterexample)
+        o2 = simulate_pattern(a2, result.counterexample)
+        assert o1 != o2
+
+    def test_subtle_inequivalence_found_by_sat(self):
+        """Differ on exactly one input pattern — random simulation with
+        few patterns can miss it on wide inputs; SAT cannot."""
+        n = 16
+        a1 = Aig()
+        lits = [a1.add_pi() for _ in range(n)]
+        acc = lits[0]
+        for l in lits[1:]:
+            acc = a1.and_(acc, l)
+        a1.add_po(acc)  # AND of all inputs
+        a2 = Aig()
+        lits2 = [a2.add_pi() for _ in range(n)]
+        a2.add_po(0)  # constant false
+        result = check_equivalence(a1, a2, sim_width=4, seed=1)
+        assert not result.equivalent
+        assert result.counterexample == [1] * n
+
+    def test_interface_mismatch(self):
+        a1 = Aig()
+        a1.add_pi()
+        a1.add_po(2)
+        a2 = Aig()
+        a2.add_pi()
+        a2.add_pi()
+        a2.add_po(2)
+        with pytest.raises(SatError):
+            check_equivalence(a1, a2)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_rewriting_equivalence_via_sat(self, seed):
+        """End-to-end: rewrite a random circuit and CEC it."""
+        from repro.core import DACParaRewriter, dacpara_config
+
+        original = random_aig(num_pis=8, num_nodes=120, num_pos=6, seed=seed)
+        rewritten = original.copy()
+        DACParaRewriter(dacpara_config(workers=8)).run(rewritten)
+        assert check_equivalence(original, rewritten).equivalent
+
+    def test_mutation_detected(self):
+        """CEC must catch a deliberately corrupted rewrite."""
+        original = random_aig(num_pis=6, num_nodes=60, num_pos=4, seed=77)
+        mutated = original.copy()
+        victim = next(iter(mutated.ands()))
+        mutated.replace(victim, mutated.fanin0(victim))  # wire out a node
+        result = check_equivalence(original, mutated)
+        # Wiring out a node almost always changes some PO function; if
+        # this particular node was redundant the check may legitimately
+        # pass, so assert only consistency of the verdict.
+        if not result.equivalent:
+            from repro.aig import simulate_pattern
+
+            o1 = simulate_pattern(original, result.counterexample)
+            o2 = simulate_pattern(mutated, result.counterexample)
+            assert o1 != o2

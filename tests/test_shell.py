@@ -1,0 +1,86 @@
+"""Tests for the interactive shell (driven programmatically)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aig import read_aiger, write_aag
+from repro.shell import Shell
+
+from conftest import random_aig
+
+
+@pytest.fixture
+def circuit_file(tmp_path):
+    aig = random_aig(num_pis=5, num_nodes=60, num_pos=4, seed=8)
+    path = tmp_path / "c.aag"
+    write_aag(aig, path)
+    return str(path)
+
+
+def test_read_and_stats(circuit_file):
+    shell = Shell()
+    out = shell.execute(f"read {circuit_file}")
+    assert "pis=5" in out
+    assert "ands=" in out
+
+
+def test_no_network_error():
+    shell = Shell()
+    out = shell.execute("print_stats")
+    assert "error" in out and "no network" in out
+
+
+def test_unknown_command():
+    shell = Shell()
+    out = shell.execute("synthesize_all_the_things")
+    assert "unknown command" in out
+
+
+def test_chained_optimization_and_cec(circuit_file):
+    shell = Shell()
+    out = shell.execute(
+        f"read {circuit_file}; dacpara -w 4; balance; resub; cec"
+    )
+    assert "EQUIVALENT" in out
+    assert "NOT EQUIVALENT" not in out
+
+
+def test_full_pipeline_with_write(circuit_file, tmp_path):
+    shell = Shell()
+    out_path = str(tmp_path / "opt.aag")
+    before = read_aiger(circuit_file).num_ands
+    out = shell.execute(f"read {circuit_file}; rewrite; write {out_path}")
+    assert "written" in out
+    after = read_aiger(out_path).num_ands
+    assert after <= before
+
+
+def test_gen_and_engines(tmp_path):
+    shell = Shell()
+    out = shell.execute("gen mult; iccad18 -w 4; cec")
+    assert "EQUIVALENT" in out
+
+
+def test_gen_unknown():
+    shell = Shell()
+    assert "unknown benchmark" in shell.execute("gen frobnicator")
+
+
+def test_fraig_and_refactor(circuit_file):
+    shell = Shell()
+    out = shell.execute(f"read {circuit_file}; fraig; refactor; cec")
+    assert "EQUIVALENT" in out
+
+
+def test_help_and_quit():
+    shell = Shell()
+    assert "dacpara" in shell.execute("help")
+    shell.execute("quit")
+    assert shell.quit_requested
+
+
+def test_empty_and_whitespace():
+    shell = Shell()
+    assert shell.execute("") == ""
+    assert shell.execute("  ;  ; ") == ""

@@ -1,0 +1,120 @@
+"""Tests for the XOR-Majority Graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aig import Aig, exhaustive_signatures, lit_not
+from repro.aig.build import pi_word, ripple_adder
+from repro.mig import aig_to_mig
+from repro.mig.xmg import Xmg, aig_to_xmg, detect_xor
+
+from conftest import random_aig
+
+
+def _xmg_signatures(xmg):
+    n = xmg.num_pis
+    width = 1 << n
+    vecs = []
+    for i in range(n):
+        block = (1 << (1 << i)) - 1
+        period = 1 << (i + 1)
+        tt = 0
+        for start in range(1 << i, width, period):
+            tt |= block << start
+        vecs.append(tt)
+    return xmg.simulate(vecs, width)
+
+
+class TestXmgBasics:
+    def test_xor3_semantics(self):
+        xmg = Xmg()
+        a, b, c = xmg.add_pi(), xmg.add_pi(), xmg.add_pi()
+        xmg.add_po(xmg.xor3_(a, b, c))
+        (sig,) = _xmg_signatures(xmg)
+        for k in range(8):
+            bits = [(k >> i) & 1 for i in range(3)]
+            assert ((sig >> k) & 1) == (sum(bits) & 1)
+
+    def test_xor_folding(self):
+        xmg = Xmg()
+        a, b = xmg.add_pi(), xmg.add_pi()
+        assert xmg.xor_(a, a) == 0
+        assert xmg.xor_(a, a ^ 1) == 1
+        assert xmg.xor_(a, 0) == a
+        assert xmg.xor_(a, 1) == (a ^ 1)
+        assert xmg.num_gates == 0
+
+    def test_complement_canonicalization(self):
+        """All input complements migrate to the output: four phase
+        combinations must share one node."""
+        xmg = Xmg()
+        a, b = xmg.add_pi(), xmg.add_pi()
+        l1 = xmg.xor_(a, b)
+        l2 = xmg.xor_(a ^ 1, b)
+        l3 = xmg.xor_(a, b ^ 1)
+        l4 = xmg.xor_(a ^ 1, b ^ 1)
+        assert xmg.num_gates == 1
+        assert l2 == (l1 ^ 1) and l3 == (l1 ^ 1) and l4 == l1
+
+    def test_maj_still_works(self):
+        xmg = Xmg()
+        a, b, c = xmg.add_pi(), xmg.add_pi(), xmg.add_pi()
+        xmg.add_po(xmg.maj_(a, b, c))
+        (sig,) = _xmg_signatures(xmg)
+        for k in range(8):
+            bits = [(k >> i) & 1 for i in range(3)]
+            assert ((sig >> k) & 1) == (1 if sum(bits) >= 2 else 0)
+
+
+class TestXorDetection:
+    def test_detects_structural_xor(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        x = aig.xor_(a, b)
+        top = x >> 1
+        hit = detect_xor(aig, top)
+        assert hit is not None
+        la, lb, is_xnor = hit
+        assert {la >> 1, lb >> 1} == {a >> 1, b >> 1}
+
+    def test_plain_and_not_detected(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        f = aig.and_(a, b)
+        assert detect_xor(aig, f >> 1) is None
+
+
+class TestConversion:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_function_preserved(self, seed):
+        aig = random_aig(num_pis=5, num_nodes=60, num_pos=5, seed=seed)
+        xmg = aig_to_xmg(aig)
+        assert _xmg_signatures(xmg) == exhaustive_signatures(aig)
+
+    def test_xor_chain_compresses(self):
+        aig = Aig()
+        pis = [aig.add_pi() for _ in range(6)]
+        acc = pis[0]
+        for p in pis[1:]:
+            acc = aig.xor_(acc, p)
+        aig.add_po(acc)
+        xmg = aig_to_xmg(aig)
+        assert _xmg_signatures(xmg) == exhaustive_signatures(aig)
+        # 5 XOR2s = 15 AIG ANDs; the XMG needs at most 5 gates.
+        assert xmg.num_gates <= 5
+        assert xmg.num_xors >= 1
+
+    def test_xmg_more_compact_than_mig_on_adders(self):
+        """The paper's Section 3 remark, asserted: on an adder the XMG
+        (XOR absorbed) is smaller than the MIG which is no larger than
+        the AIG."""
+        aig = Aig()
+        a, b = pi_word(aig, 6), pi_word(aig, 6)
+        s, cy = ripple_adder(aig, a, b)
+        for bit in s + [cy]:
+            aig.add_po(bit)
+        mig = aig_to_mig(aig)
+        xmg = aig_to_xmg(aig)
+        assert xmg.num_gates < mig.num_majs <= aig.num_ands
+        assert xmg.num_xors > 0
