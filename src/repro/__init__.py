@@ -33,6 +33,7 @@ from .config import (
     iccad18_config,
 )
 from .core import DACParaRewriter
+from .obs import NULL_OBSERVER, Observer, TracingObserver
 from .rewrite import LockFusedRewriter, RewriteResult, SerialRewriter, StaticRewriter
 from .sat import check_equivalence
 
@@ -54,6 +55,9 @@ __all__ = [
     "gpu_config",
     "iccad18_config",
     "DACParaRewriter",
+    "NULL_OBSERVER",
+    "Observer",
+    "TracingObserver",
     "LockFusedRewriter",
     "RewriteResult",
     "SerialRewriter",

@@ -4,14 +4,22 @@ Commands:
 
 * ``stats FILE``                      — print circuit statistics
 * ``rewrite IN -o OUT``               — run a rewriting engine
+* ``profile IN``                      — per-stage/per-level breakdown
 * ``flow IN -o OUT --script resyn2``  — run an optimization flow
 * ``cec A B``                         — combinational equivalence check
 * ``gen NAME -o OUT``                 — generate a benchmark circuit
+
+Observability: ``rewrite`` accepts ``--trace out.trace.json`` (Chrome
+trace-event format — open in Perfetto), ``--events out.jsonl`` (JSONL
+stream), ``--metrics out.prom`` (Prometheus text) and ``--json``
+(machine-readable result on stdout).  Trace timestamps are simulated
+work units, so a re-run with the same inputs is byte-identical.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -19,6 +27,13 @@ from typing import List, Optional
 from .aig import Aig, read_aiger, write_aag, write_aig
 from .bench import epfl_names, make_epfl, make_mtm, mtm_names
 from .experiments import ENGINE_FACTORIES, make_engine
+from .obs import (
+    TracingObserver,
+    chrome_trace_json,
+    format_profile,
+    prometheus_text,
+    write_jsonl,
+)
 from .opt import FLOW_SCRIPTS, run_flow
 from .sat import check_equivalence_auto
 
@@ -32,30 +47,93 @@ def _write(aig: Aig, path: str) -> None:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     aig = read_aiger(args.input)
-    print(
-        f"{args.input}: pis={aig.num_pis} pos={aig.num_pos} "
-        f"ands={aig.num_ands} depth={aig.max_level()}"
-    )
+    record = {
+        "input": args.input,
+        "pis": aig.num_pis,
+        "pos": aig.num_pos,
+        "ands": aig.num_ands,
+        "depth": aig.max_level(),
+    }
+    if args.json:
+        print(json.dumps(record, sort_keys=True))
+    else:
+        print(
+            f"{args.input}: pis={record['pis']} pos={record['pos']} "
+            f"ands={record['ands']} depth={record['depth']}"
+        )
     return 0
+
+
+def _make_observer(args: argparse.Namespace) -> Optional[TracingObserver]:
+    wants = args.trace or args.events or args.metrics or args.json
+    return TracingObserver() if wants else None
+
+
+def _export_observation(args: argparse.Namespace, obs: Optional[TracingObserver],
+                        engine_name: str) -> None:
+    if obs is None:
+        return
+    if args.trace:
+        with open(args.trace, "w") as fh:
+            fh.write(chrome_trace_json(
+                obs.tracer, metadata={"engine": engine_name, "input": args.input}
+            ))
+    if args.events:
+        write_jsonl(args.events, obs.tracer, obs.metrics)
+    if args.metrics:
+        with open(args.metrics, "w") as fh:
+            fh.write(prometheus_text(obs.metrics))
 
 
 def _cmd_rewrite(args: argparse.Namespace) -> int:
     aig = read_aiger(args.input)
     original = aig.copy() if args.verify else None
-    engine = make_engine(args.engine, workers=args.workers)
+    obs = _make_observer(args)
+    engine = make_engine(args.engine, workers=args.workers, observer=obs)
     start = time.perf_counter()
     result = engine.run(aig)
     wall = time.perf_counter() - start
-    print(result.summary())
-    print(f"wall time: {wall:.2f}s")
+    cec = None
     if original is not None:
         cec = check_equivalence_auto(original, aig)
-        print(f"equivalence ({cec.method}): {'OK' if cec.equivalent else 'FAILED'}")
-        if not cec.equivalent:
-            return 2
+    if args.json:
+        payload = {
+            "input": args.input,
+            "result": result.to_dict(),
+            "wall_seconds": wall,
+            "metrics": obs.metrics.snapshot() if obs is not None else None,
+        }
+        if cec is not None:
+            payload["equivalence"] = {
+                "equivalent": cec.equivalent, "method": cec.method,
+            }
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(result.summary())
+        print(f"wall time: {wall:.2f}s")
+        if cec is not None:
+            print(
+                f"equivalence ({cec.method}): "
+                f"{'OK' if cec.equivalent else 'FAILED'}"
+            )
+    _export_observation(args, obs, args.engine)
+    if cec is not None and not cec.equivalent:
+        return 2
     if args.output:
         _write(aig, args.output)
-        print(f"written: {args.output}")
+        if not args.json:
+            print(f"written: {args.output}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    aig = read_aiger(args.input)
+    obs = TracingObserver()
+    engine = make_engine(args.engine, workers=args.workers, observer=obs)
+    result = engine.run(aig)
+    print(result.summary())
+    stats = getattr(engine, "last_stats", None)
+    print(format_profile(obs.tracer, result.workers, stats=stats))
     return 0
 
 
@@ -115,6 +193,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_stats = sub.add_parser("stats", help="print circuit statistics")
     p_stats.add_argument("input")
+    p_stats.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
     p_stats.set_defaults(func=_cmd_stats)
 
     p_rw = sub.add_parser("rewrite", help="run a rewriting engine")
@@ -125,7 +206,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rw.add_argument("--workers", type=int, default=None)
     p_rw.add_argument("--verify", action="store_true")
+    p_rw.add_argument(
+        "--trace", metavar="PATH",
+        help="write a Chrome trace-event file (Perfetto / chrome://tracing)",
+    )
+    p_rw.add_argument(
+        "--events", metavar="PATH", help="write a JSONL span/metric stream"
+    )
+    p_rw.add_argument(
+        "--metrics", metavar="PATH", help="write Prometheus-format metrics"
+    )
+    p_rw.add_argument(
+        "--json", action="store_true", help="machine-readable result on stdout"
+    )
     p_rw.set_defaults(func=_cmd_rewrite)
+
+    p_prof = sub.add_parser(
+        "profile", help="run an engine and print a per-stage/per-level breakdown"
+    )
+    p_prof.add_argument("input")
+    p_prof.add_argument(
+        "--engine", default="dacpara", choices=sorted(ENGINE_FACTORIES)
+    )
+    p_prof.add_argument("--workers", type=int, default=None)
+    p_prof.set_defaults(func=_cmd_profile)
 
     p_flow = sub.add_parser("flow", help="run an optimization flow")
     p_flow.add_argument("input")

@@ -19,6 +19,7 @@ from ..aig import Aig
 from ..cuts import CutManager
 from ..galois import make_executor
 from ..library import StructureLibrary, get_library
+from ..obs.observer import NULL_OBSERVER, Observer
 from ..rewrite.result import RewriteResult
 from ..config import RewriteConfig, dacpara_config
 from .operators import (
@@ -42,6 +43,7 @@ class DACParaRewriter:
         executor_kind: str = "simulated",
         validate: bool = True,
         partition: str = "level",
+        observer: Optional[Observer] = None,
     ):
         if partition not in ("level", "single"):
             raise ValueError(f"unknown partition mode {partition!r}")
@@ -52,13 +54,15 @@ class DACParaRewriter:
         # 'level' = the paper's nodeDividing; 'single' = ablation: one
         # global worklist, maximizing staleness between eval and replace.
         self.partition = partition
+        self.obs = observer if observer is not None else NULL_OBSERVER
         self.last_stats = None  # ExecutionStats of the most recent run
         self.last_validation_stats = None
 
     def run(self, aig: Aig) -> RewriteResult:
         """Rewrite ``aig`` in place (Algorithm 1); returns the record."""
         config = self.config
-        executor = make_executor(self.executor_kind, config.workers)
+        obs = self.obs
+        executor = make_executor(self.executor_kind, config.workers, observer=obs)
         result = RewriteResult(
             engine=self.name,
             workers=config.workers,
@@ -70,31 +74,62 @@ class DACParaRewriter:
         cutman = CutManager(aig, k=config.cut_size, max_cuts=config.max_cuts)
         ctx = StageContext(
             aig=aig, cutman=cutman, library=self.library, config=config,
-            validate=self.validate,
+            validate=self.validate, observer=obs,
         )
         enum_op = make_enum_operator(ctx)
         eval_op = make_eval_operator(ctx)
         replace_op = make_replace_operator(ctx)
 
-        for _ in range(config.passes):
+        run_span = None
+        if obs.enabled:
+            run_span = obs.begin(
+                "run", "run", executor.now, engine=self.name,
+                workers=config.workers, area_before=aig.num_ands,
+            )
+        for pass_index in range(config.passes):
             result.passes += 1
             replacements_before = ctx.replacements
             if self.partition == "level":
                 worklists = node_dividing(aig)
             else:
                 worklists = [aig.topo_ands()]
-            for worklist in worklists:
+            pass_span = None
+            if obs.enabled:
+                pass_span = obs.begin(
+                    "pass", "pass", executor.now, index=pass_index,
+                    worklists=len(worklists),
+                )
+            for level, worklist in enumerate(worklists, start=1):
                 live = [v for v in worklist if not aig.is_dead(v)]
                 if not live:
                     continue
                 ctx.reset_round()
+                wl_span = None
+                if obs.enabled:
+                    wl_span = obs.begin(
+                        "worklist", "worklist", executor.now,
+                        level=level if self.partition == "level" else 0,
+                        size=len(live),
+                    )
+                    obs.observe("worklist_occupancy", len(live))
                 executor.run("enum", live, enum_op)
                 executor.run("eval", live, eval_op)
                 pending = [v for v in live if ctx.prep_info.get(v) is not None]
                 if pending:
                     executor.run("replace", pending, replace_op)
+                if obs.enabled:
+                    obs.end(wl_span, executor.now, pending=len(pending))
+            if obs.enabled:
+                obs.end(pass_span, executor.now,
+                        replacements=ctx.replacements - replacements_before)
             if ctx.replacements == replacements_before:
                 break
+        if obs.enabled:
+            obs.end(run_span, executor.now, area_after=aig.num_ands,
+                    replacements=ctx.replacements)
+            for cause, n in ctx.validation_stats.as_dict().items():
+                if n:
+                    obs.count("validation_causes_total", n, cause=cause)
 
         self.last_stats = executor.stats
         self.last_validation_stats = ctx.validation_stats

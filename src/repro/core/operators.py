@@ -26,6 +26,7 @@ from ..aig import Aig, mffc
 from ..cuts import CutManager
 from ..galois import Phase
 from ..library import StructureLibrary
+from ..obs.observer import NULL_OBSERVER, Observer
 from ..rewrite.base import WorkMeter, apply_candidate, find_best_candidate
 from ..config import RewriteConfig
 from .prep_info import PrepInfo
@@ -47,6 +48,7 @@ class StageContext:
     validation_failures: int = 0
     nodes_saved: int = 0
     validate: bool = True  # False = ablation: trust static prepInfo blindly
+    observer: Observer = NULL_OBSERVER
 
     def reset_round(self) -> None:
         self.prep_info = PrepInfo()
@@ -95,7 +97,8 @@ def make_eval_operator(ctx: StageContext) -> Callable[[int], Generator[Phase, No
             return
         meter = WorkMeter()
         candidate = find_best_candidate(
-            aig, root, ctx.cutman, ctx.library, ctx.config, meter
+            aig, root, ctx.cutman, ctx.library, ctx.config, meter,
+            observer=ctx.observer,
         )
         ctx.meter.add(meter.units)
         yield Phase(locks=(), cost=meter.units + 1)
@@ -132,6 +135,8 @@ def make_replace_operator(ctx: StageContext) -> Callable[[int], Generator[Phase,
             ctx.meter.add(meter.units)
             if fresh is None:
                 ctx.validation_failures += 1
+                if ctx.observer.enabled:
+                    ctx.observer.count("validation_failures_total")
                 return
         else:
             # Ablation mode: apply the stored result without dynamic
@@ -144,10 +149,15 @@ def make_replace_operator(ctx: StageContext) -> Callable[[int], Generator[Phase,
                 or not cut_is_stamp_alive(aig, candidate.cut)
             ):
                 ctx.validation_failures += 1
+                if ctx.observer.enabled:
+                    ctx.observer.count("validation_failures_total")
                 return
             fresh = candidate
         saved = apply_candidate(aig, fresh)
         ctx.replacements += 1
         ctx.nodes_saved += saved
+        if ctx.observer.enabled:
+            ctx.observer.count("replacements_total")
+            ctx.observer.observe("applied_gain", fresh.gain)
 
     return operator

@@ -25,31 +25,49 @@ from ..aig.simulate import random_patterns, simulate
 DEFAULT_WORKERS = 40
 GPU_WORKERS = 9216
 
-ENGINE_FACTORIES: Dict[str, Callable[[int], object]] = {
-    "abc": lambda workers: SerialRewriter(abc_rewrite_config()),
-    "iccad18": lambda workers: LockFusedRewriter(iccad18_config(workers)),
-    "dacpara": lambda workers: DACParaRewriter(dacpara_config(workers)),
-    "dacpara-p1": lambda workers: DACParaRewriter(dacpara_p1_config(workers)),
-    "dacpara-p2": lambda workers: DACParaRewriter(dacpara_p2_config(workers)),
-    "dacpara-novalidate": lambda workers: DACParaRewriter(
-        dacpara_config(workers), validate=False
+ENGINE_FACTORIES: Dict[str, Callable[..., object]] = {
+    "abc": lambda workers, observer=None: SerialRewriter(
+        abc_rewrite_config(), observer=observer
     ),
-    "gpu-dac22": lambda workers: StaticRewriter(gpu_config(workers), variant="dac22"),
-    "gpu-tcad23": lambda workers: StaticRewriter(gpu_config(workers), variant="tcad23"),
+    "iccad18": lambda workers, observer=None: LockFusedRewriter(
+        iccad18_config(workers), observer=observer
+    ),
+    "dacpara": lambda workers, observer=None: DACParaRewriter(
+        dacpara_config(workers), observer=observer
+    ),
+    "dacpara-p1": lambda workers, observer=None: DACParaRewriter(
+        dacpara_p1_config(workers), observer=observer
+    ),
+    "dacpara-p2": lambda workers, observer=None: DACParaRewriter(
+        dacpara_p2_config(workers), observer=observer
+    ),
+    "dacpara-novalidate": lambda workers, observer=None: DACParaRewriter(
+        dacpara_config(workers), validate=False, observer=observer
+    ),
+    "gpu-dac22": lambda workers, observer=None: StaticRewriter(
+        gpu_config(workers), variant="dac22", observer=observer
+    ),
+    "gpu-tcad23": lambda workers, observer=None: StaticRewriter(
+        gpu_config(workers), variant="tcad23", observer=observer
+    ),
     # DACPara under the GPU works' exact budget (222 classes, 8 cuts,
     # 5 structures, 2 passes): isolates the paper's dynamic-vs-static
     # quality claim from the class-set confound.
-    "dacpara-222": lambda workers: DACParaRewriter(gpu_config(min(workers, 40))),
+    "dacpara-222": lambda workers, observer=None: DACParaRewriter(
+        gpu_config(min(workers, 40)), observer=observer
+    ),
 }
 
 
-def make_engine(name: str, workers: Optional[int] = None):
-    """Instantiate an engine by table name."""
+def make_engine(name: str, workers: Optional[int] = None, observer=None):
+    """Instantiate an engine by table name; ``observer`` (an
+    :class:`repro.obs.Observer`) is threaded into the engine and its
+    executor so one flag can trace any engine in the matrix."""
     if name not in ENGINE_FACTORIES:
         raise KeyError(f"unknown engine {name!r}; have {sorted(ENGINE_FACTORIES)}")
     if workers is None:
         workers = GPU_WORKERS if name.startswith("gpu") else DEFAULT_WORKERS
-    return ENGINE_FACTORIES[name](workers)
+    return ENGINE_FACTORIES[name](workers, observer=observer)
 
 
 @dataclass
@@ -94,12 +112,13 @@ def run_experiment(
     circuit_factory: Callable[[], Aig],
     workers: Optional[int] = None,
     check: bool = True,
+    observer=None,
 ) -> ExperimentRow:
     """Run one engine on a fresh copy of one benchmark, with CEC."""
     original = circuit_factory()
     working = original.copy()
     working.name = original.name
-    engine = make_engine(engine_name, workers)
+    engine = make_engine(engine_name, workers, observer=observer)
     start = time.perf_counter()
     result = engine.run(working)
     wall = time.perf_counter() - start

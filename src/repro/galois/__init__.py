@@ -17,12 +17,12 @@ __all__ = [
 ]
 
 
-def make_executor(kind: str, workers: int):
+def make_executor(kind: str, workers: int, observer=None):
     """Factory: ``'simulated'``, ``'threaded'`` or ``'serial'``."""
     if kind == "simulated":
-        return SimulatedExecutor(workers)
+        return SimulatedExecutor(workers, observer=observer)
     if kind == "threaded":
-        return ThreadedExecutor(workers)
+        return ThreadedExecutor(workers, observer=observer)
     if kind == "serial":
-        return SerialExecutor()
+        return SerialExecutor(observer=observer)
     raise ValueError(f"unknown executor kind {kind!r}")

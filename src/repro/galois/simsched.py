@@ -37,10 +37,27 @@ from collections import deque
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import SchedulerError
+from ..obs.observer import NULL_OBSERVER, Observer
 from .activity import Operator, Phase
 from .stats import ExecutionStats, StageStats
 
 MAX_RETRIES = 100_000
+
+
+def _item_args(item: object) -> dict:
+    """Deterministic trace args for a worklist item (node ids only —
+    arbitrary objects would leak memory addresses via repr)."""
+    return {"node": item} if isinstance(item, int) else {}
+
+
+def _publish_stage(obs: Observer, stage: StageStats) -> None:
+    """Per-stage conflict/abort counters for the metrics registry."""
+    obs.count("stage_runs_total", 1, stage=stage.name)
+    obs.count("activities_total", stage.activities, stage=stage.name)
+    obs.count("committed_total", stage.committed, stage=stage.name)
+    obs.count("conflicts_total", stage.conflicts, stage=stage.name)
+    obs.count("useful_units_total", stage.useful_units, stage=stage.name)
+    obs.count("aborted_units_total", stage.aborted_units, stage=stage.name)
 
 
 class SimulatedExecutor:
@@ -49,19 +66,38 @@ class SimulatedExecutor:
     Successive :meth:`run` calls are separated by barriers: a stage
     starts only after every activity of the previous stage has ended
     (this is exactly Algorithm 1's per-worklist, per-stage structure).
+
+    ``observer`` receives a stage span per :meth:`run`, an activity
+    span per commit/abort (on the worker's track) and a conflict
+    instant per abort, all timestamped in simulated work units — the
+    default no-op observer costs one attribute check per event site.
+    ``track_offset`` shifts this executor's observer tracks so two
+    executors sharing one observer (the GPU model's device/host pair)
+    stay visually separate in a trace.
     """
 
-    def __init__(self, workers: int):
+    def __init__(
+        self,
+        workers: int,
+        observer: Optional[Observer] = None,
+        track_offset: int = 0,
+    ):
         if workers < 1:
             raise SchedulerError(f"need at least one worker, got {workers}")
         self.workers = workers
         self.now = 0
         self.stats = ExecutionStats(workers=workers)
+        self.obs = observer if observer is not None else NULL_OBSERVER
+        self.track_offset = track_offset
 
     def run(self, name: str, items: Sequence, operator: Operator) -> StageStats:
         """Execute ``operator(item)`` for every item; returns stage stats."""
         stage = StageStats(name=name, start_time=self.now, end_time=self.now)
         stage.activities = len(items)
+        obs = self.obs
+        span = None
+        if obs.enabled:
+            span = obs.begin(name, "stage", self.now, activities=len(items))
         worker_heap: List[Tuple[int, int]] = [(self.now, w) for w in range(self.workers)]
         heapq.heapify(worker_heap)
         ready = deque(items)
@@ -111,6 +147,11 @@ class SimulatedExecutor:
                 gen.close()
                 stage.conflicts += 1
                 stage.aborted_units += acc
+                if obs.enabled:
+                    track = self.track_offset + w + 1
+                    obs.activity("abort", name, t, t + acc, track,
+                                 **_item_args(item))
+                    obs.instant("conflict", name, t + acc, track)
                 count = retry_counts.get(id(item), 0) + 1
                 retry_counts[id(item)] = count
                 if count > MAX_RETRIES:
@@ -129,6 +170,9 @@ class SimulatedExecutor:
             end = t + acc
             stage.committed += 1
             stage.useful_units += acc
+            if obs.enabled:
+                obs.activity("commit", name, t, end, self.track_offset + w + 1,
+                             cost=acc, **_item_args(item))
             if intervals:
                 inflight.append((end, intervals))
             heapq.heappush(worker_heap, (end, w))
@@ -136,6 +180,11 @@ class SimulatedExecutor:
 
         self.now = stage.end_time
         self.stats.stages.append(stage)
+        if obs.enabled:
+            _publish_stage(obs, stage)
+            obs.end(span, stage.end_time, committed=stage.committed,
+                    conflicts=stage.conflicts, useful_units=stage.useful_units,
+                    aborted_units=stage.aborted_units)
         return stage
 
     @staticmethod
@@ -158,5 +207,5 @@ class SimulatedExecutor:
 class SerialExecutor(SimulatedExecutor):
     """One-worker simulated executor (the ABC-serial timing reference)."""
 
-    def __init__(self) -> None:
-        super().__init__(workers=1)
+    def __init__(self, observer: Optional[Observer] = None) -> None:
+        super().__init__(workers=1, observer=observer)

@@ -23,6 +23,14 @@ class StageStats:
     def makespan(self) -> int:
         return self.end_time - self.start_time
 
+    @property
+    def conflict_rate(self) -> float:
+        """Aborted attempts / total attempts (commits + aborts)."""
+        attempts = self.committed + self.conflicts
+        if attempts == 0:
+            return 0.0
+        return self.conflicts / attempts
+
 
 @dataclass
 class ExecutionStats:
@@ -55,8 +63,22 @@ class ExecutionStats:
 
     @property
     def parallel_efficiency(self) -> float:
-        """Useful work / (workers × makespan)."""
+        """Useful work / (workers × makespan).
+
+        A run with stages but zero makespan (all activities were free,
+        or the executor has no timeline) did no measurable useful work
+        per worker-unit, so it reports 0.0; only a run with *no* stages
+        at all is vacuously efficient.
+        """
         span = self.makespan
         if span == 0 or self.workers == 0:
-            return 1.0
+            return 1.0 if not self.stages else 0.0
         return self.total_useful_units / (self.workers * span)
+
+    @property
+    def conflict_rate(self) -> float:
+        """Aborted attempts / total attempts across all stages."""
+        attempts = sum(s.committed for s in self.stages) + self.total_conflicts
+        if attempts == 0:
+            return 0.0
+        return self.total_conflicts / attempts

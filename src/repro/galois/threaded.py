@@ -23,21 +23,31 @@ from collections import deque
 from typing import List, Optional, Sequence
 
 from ..errors import SchedulerError
+from ..obs.observer import NULL_OBSERVER, Observer
 from .activity import Operator, Phase
+from .simsched import _publish_stage
 from .stats import ExecutionStats, StageStats
 
 MAX_RETRIES = 10_000
 
 
 class ThreadedExecutor:
-    """Pool of real threads running cautious operators."""
+    """Pool of real threads running cautious operators.
 
-    def __init__(self, workers: int):
+    Real threads have no deterministic clock, so the observer gets
+    stage-level spans and counters only (no per-activity spans): the
+    stage timeline advances by each stage's useful work, which keeps
+    traces monotonic and comparable with the simulated executor's
+    serial (1-worker) timing.
+    """
+
+    def __init__(self, workers: int, observer: Optional[Observer] = None):
         if workers < 1:
             raise SchedulerError(f"need at least one worker, got {workers}")
         self.workers = workers
         self.now = 0
         self.stats = ExecutionStats(workers=workers)
+        self.obs = observer if observer is not None else NULL_OBSERVER
         self._registry_mutex = threading.Lock()
         self._held: dict = {}  # lock key -> owner thread id
         self._commit_mutex = threading.Lock()
@@ -98,6 +108,10 @@ class ThreadedExecutor:
                     with queue_mutex:
                         queue.append((item, attempts + 1))
 
+        obs = self.obs
+        span = None
+        if obs.enabled:
+            span = obs.begin(name, "stage", self.now, activities=len(items))
         threads = [threading.Thread(target=worker) for _ in range(self.workers)]
         for t in threads:
             t.start()
@@ -105,7 +119,17 @@ class ThreadedExecutor:
             t.join()
         if errors:
             raise errors[0]
+        # Logical stage timeline: advance by the stage's useful work
+        # (wall-clock is GIL-distorted and non-reproducible; see module
+        # docstring) so stats and traces stay monotonic.
+        stage.end_time = self.now + stage.useful_units
+        self.now = stage.end_time
         self.stats.stages.append(stage)
+        if obs.enabled:
+            _publish_stage(obs, stage)
+            obs.end(span, stage.end_time, committed=stage.committed,
+                    conflicts=stage.conflicts, useful_units=stage.useful_units,
+                    aborted_units=stage.aborted_units)
         return stage
 
     def _try_acquire(self, locks, me: int, mine: List[object]) -> bool:

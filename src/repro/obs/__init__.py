@@ -1,0 +1,50 @@
+"""Unified tracing & metrics for all rewriting engines.
+
+One :class:`Observer` travels through the executor, the operators and
+the engine drivers; by default it is the shared no-op
+:data:`NULL_OBSERVER` (zero overhead), and a :class:`TracingObserver`
+turns the same hooks into a hierarchical span trace (run → pass →
+worklist → stage → activity, timestamped in deterministic simulated
+work units) plus a metrics registry.  Exporters serialize either into
+Chrome trace-event JSON (Perfetto / ``chrome://tracing``), a JSONL
+event stream, or Prometheus text.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .observer import NULL_OBSERVER, Observer, TracingObserver
+from .export import (
+    chrome_trace_json,
+    jsonl_lines,
+    prometheus_text,
+    to_chrome_trace,
+    write_jsonl,
+)
+from .profile import (
+    format_profile,
+    level_breakdown,
+    stage_breakdown,
+    stage_breakdown_from_tracer,
+)
+from .tracer import Event, Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "Observer",
+    "TracingObserver",
+    "chrome_trace_json",
+    "jsonl_lines",
+    "prometheus_text",
+    "to_chrome_trace",
+    "write_jsonl",
+    "format_profile",
+    "level_breakdown",
+    "stage_breakdown",
+    "stage_breakdown_from_tracer",
+    "Event",
+    "Span",
+    "SpanTracer",
+]

@@ -1,0 +1,157 @@
+"""Exporters for the observability layer.
+
+Three formats, all deterministic (no wall-clock, stable key order):
+
+* **Chrome trace-event JSON** — load in Perfetto or ``chrome://tracing``
+  to *see* per-level barrier idle time and stage overlap.  Timestamps
+  are simulated work units interpreted as microseconds.
+* **JSONL** — one event per line, for ad-hoc ``jq``/pandas analysis.
+* **Prometheus text** — the metrics registry in exposition format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional
+
+from .metrics import MetricsRegistry
+from .tracer import SpanTracer
+
+
+def _dumps(obj: object) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event format
+
+
+def to_chrome_trace(
+    tracer: SpanTracer, metadata: Optional[Dict[str, object]] = None
+) -> Dict[str, object]:
+    """The trace as a Chrome/Perfetto ``traceEvents`` object."""
+    events: List[Dict[str, object]] = []
+    tracks = sorted({s.track for s in tracer.spans}
+                    | {e.track for e in tracer.events})
+    for track in tracks:
+        label = "control" if track == 0 else f"worker-{track - 1}"
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": 0, "tid": track,
+            "args": {"name": label},
+        })
+    for span in tracer.spans:
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.cat,
+            "ts": span.start,
+            "dur": span.duration,
+            "pid": 0,
+            "tid": span.track,
+            "args": dict(span.args, sid=span.sid,
+                         parent=-1 if span.parent is None else span.parent),
+        })
+    for event in tracer.events:
+        events.append({
+            "ph": "i",
+            "s": "t",
+            "name": event.name,
+            "cat": event.cat,
+            "ts": event.ts,
+            "pid": 0,
+            "tid": event.track,
+            "args": dict(event.args, sid=event.sid),
+        })
+    doc: Dict[str, object] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(metadata or {}, clock="simulated-work-units"),
+    }
+    return doc
+
+
+def chrome_trace_json(
+    tracer: SpanTracer, metadata: Optional[Dict[str, object]] = None
+) -> str:
+    """Byte-reproducible serialization of :func:`to_chrome_trace`."""
+    return _dumps(to_chrome_trace(tracer, metadata))
+
+
+# ---------------------------------------------------------------------------
+# JSONL event stream
+
+
+def jsonl_lines(
+    tracer: SpanTracer, metrics: Optional[MetricsRegistry] = None
+) -> Iterator[str]:
+    """One JSON object per line: spans, instants, then metric values."""
+    for span in tracer.spans:
+        yield _dumps({
+            "kind": "span", "sid": span.sid, "parent": span.parent,
+            "name": span.name, "cat": span.cat, "start": span.start,
+            "end": span.end, "track": span.track, "args": span.args,
+        })
+    for event in tracer.events:
+        yield _dumps({
+            "kind": "instant", "sid": event.sid, "name": event.name,
+            "cat": event.cat, "ts": event.ts, "track": event.track,
+            "args": event.args,
+        })
+    if metrics is not None:
+        yield _dumps({"kind": "metrics", "snapshot": metrics.snapshot()})
+
+
+def write_jsonl(
+    path: str, tracer: SpanTracer, metrics: Optional[MetricsRegistry] = None
+) -> None:
+    with open(path, "w") as fh:
+        for line in jsonl_lines(tracer, metrics):
+            fh.write(line + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition format
+
+
+def _prom_labels(labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{{{inner}}}"
+
+
+def _prom_number(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(metrics: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    seen_types = set()
+
+    def header(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for name, labels, counter in metrics.counters():
+        header(name, "counter")
+        lines.append(f"{name}{_prom_labels(labels)} {counter.value}")
+    for name, labels, gauge in metrics.gauges():
+        header(name, "gauge")
+        lines.append(f"{name}{_prom_labels(labels)} {_prom_number(gauge.value)}")
+    for name, labels, hist in metrics.histograms():
+        header(name, "histogram")
+        cumulative = 0
+        for bound, bucket in zip(hist.bounds, hist.buckets):
+            cumulative += bucket
+            le = _prom_labels(labels + (("le", _prom_number(float(bound))),))
+            lines.append(f"{name}_bucket{le} {cumulative}")
+        cumulative += hist.buckets[-1]
+        le = _prom_labels(labels + (("le", "+Inf"),))
+        lines.append(f"{name}_bucket{le} {cumulative}")
+        lines.append(f"{name}_sum{_prom_labels(labels)} {_prom_number(hist.total)}")
+        lines.append(f"{name}_count{_prom_labels(labels)} {hist.count}")
+    return "\n".join(lines) + "\n"

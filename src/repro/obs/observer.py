@@ -1,0 +1,94 @@
+"""The observer interface every engine and executor reports through.
+
+``Observer`` itself is the no-op implementation: every hook does
+nothing and ``enabled`` is False, so instrumented hot paths can skip
+even the cost of building event arguments::
+
+    if obs.enabled:
+        obs.activity("rewrite", stage.name, start, end, track=w + 1)
+
+``TracingObserver`` is the real one — a :class:`SpanTracer` plus a
+:class:`MetricsRegistry` behind the same hooks.  One observer instance
+covers one engine run end to end (executor stages, operator metrics,
+engine-level pass/worklist structure), which is what lets a single
+``--trace`` flag capture the whole matrix of engines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .metrics import DEFAULT_BUCKETS, MetricsRegistry
+from .tracer import Span, SpanTracer
+
+
+class Observer:
+    """No-op base observer (the zero-overhead default)."""
+
+    enabled = False
+
+    # -- tracing hooks ---------------------------------------------------
+
+    def begin(self, name: str, cat: str, ts: int, **args: Any) -> Optional[Span]:
+        """Open a control span (run/pass/worklist/stage)."""
+        return None
+
+    def end(self, span: Optional[Span], ts: int, **args: Any) -> None:
+        """Close a control span."""
+
+    def activity(
+        self, name: str, cat: str, start: int, end: int, track: int, **args: Any
+    ) -> None:
+        """Record one completed (or aborted) activity on a worker track."""
+
+    def instant(self, name: str, cat: str, ts: int, track: int = 0, **args: Any) -> None:
+        """Record an instantaneous event (e.g. a lock conflict)."""
+
+    # -- metric hooks ----------------------------------------------------
+
+    def count(self, name: str, n: int = 1, **labels: object) -> None:
+        """Increment a counter."""
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Add one observation to a histogram."""
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set a gauge."""
+
+
+#: Shared stateless no-op instance — safe to use as a default anywhere.
+NULL_OBSERVER = Observer()
+
+
+class TracingObserver(Observer):
+    """Collects a hierarchical span trace and a metrics registry."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.tracer = SpanTracer()
+        self.metrics = MetricsRegistry()
+
+    def begin(self, name: str, cat: str, ts: int, **args: Any) -> Span:
+        return self.tracer.begin(name, cat, ts, **args)
+
+    def end(self, span: Optional[Span], ts: int, **args: Any) -> None:
+        if span is not None:
+            self.tracer.end(span, ts, **args)
+
+    def activity(
+        self, name: str, cat: str, start: int, end: int, track: int, **args: Any
+    ) -> None:
+        self.tracer.record(name, cat, start, end, track, **args)
+
+    def instant(self, name: str, cat: str, ts: int, track: int = 0, **args: Any) -> None:
+        self.tracer.instant(name, cat, ts, track, **args)
+
+    def count(self, name: str, n: int = 1, **labels: object) -> None:
+        self.metrics.counter(name, **labels).inc(n)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        self.metrics.histogram(name, DEFAULT_BUCKETS, **labels).observe(value)
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        self.metrics.gauge(name, **labels).set(value)

@@ -237,17 +237,25 @@ def find_best_candidate(
     library: StructureLibrary,
     config: RewriteConfig,
     meter: Optional[WorkMeter] = None,
+    observer=None,
 ) -> Optional[Candidate]:
     """The DAG-aware rewriting inner loop for a single node."""
     allowed = config.allowed_classes
+    observing = observer is not None and observer.enabled
+    num_cuts = 0
     best: Optional[Candidate] = None
     best_key = None
     for cut in cutman.fresh_cuts(root):
+        num_cuts += 1
         if cut.size < 2:
             continue
         canon, transform = npn_canon(cut_tt4(cut))
         if canon not in allowed:
+            if observing:
+                observer.count("npn_class_misses_total")
             continue
+        if observing:
+            observer.count("npn_class_hits_total", cls=f"{canon:04x}")
         structures = library.structures(canon)
         if config.max_structs is not None:
             structures = structures[: config.max_structs]
@@ -271,9 +279,13 @@ def find_best_candidate(
                     gain=evaluation.gain,
                     new_root_level=evaluation.new_root_level,
                 )
+    if observing:
+        observer.observe("cuts_per_node", num_cuts)
     if best is None:
         return None
     if best.gain > 0 or (config.zero_gain and best.gain == 0):
+        if observing:
+            observer.observe("gain", best.gain)
         return best
     return None
 

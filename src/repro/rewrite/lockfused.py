@@ -26,6 +26,7 @@ from ..config import RewriteConfig, iccad18_config
 from ..cuts import CutManager
 from ..galois import Phase, make_executor
 from ..library import StructureLibrary, get_library
+from ..obs.observer import NULL_OBSERVER, Observer
 from .base import WorkMeter, apply_candidate, find_best_candidate
 from .result import RewriteResult
 
@@ -40,15 +41,18 @@ class LockFusedRewriter:
         config: Optional[RewriteConfig] = None,
         library: Optional[StructureLibrary] = None,
         executor_kind: str = "simulated",
+        observer: Optional[Observer] = None,
     ):
         self.config = config or iccad18_config()
         self.library = library or get_library()
         self.executor_kind = executor_kind
+        self.obs = observer if observer is not None else NULL_OBSERVER
 
     def run(self, aig: Aig) -> RewriteResult:
         """Rewrite ``aig`` in place with the fused parallel operator."""
         config = self.config
-        executor = make_executor(self.executor_kind, config.workers)
+        obs = self.obs
+        executor = make_executor(self.executor_kind, config.workers, observer=obs)
         result = RewriteResult(
             engine=self.name,
             workers=config.workers,
@@ -61,14 +65,29 @@ class LockFusedRewriter:
         counters = {"replacements": 0, "saved": 0}
         operator = self._make_operator(aig, cutman, config, counters)
 
-        for _ in range(config.passes):
+        run_span = None
+        if obs.enabled:
+            run_span = obs.begin("run", "run", executor.now, engine=self.name,
+                                 workers=config.workers, area_before=aig.num_ands)
+        for pass_index in range(config.passes):
             result.passes += 1
             before = counters["replacements"]
             nodes = aig.topo_ands()
             result.attempted += len(nodes)
+            pass_span = None
+            if obs.enabled:
+                pass_span = obs.begin("pass", "pass", executor.now,
+                                      index=pass_index)
             executor.run("fused", nodes, operator)
+            if obs.enabled:
+                obs.end(pass_span, executor.now,
+                        replacements=counters["replacements"] - before)
             if counters["replacements"] == before:
                 break
+        if obs.enabled:
+            obs.end(run_span, executor.now, area_after=aig.num_ands,
+                    replacements=counters["replacements"])
+            obs.count("replacements_total", counters["replacements"])
 
         result.area_after = aig.num_ands
         result.delay_after = aig.max_level()
@@ -104,7 +123,9 @@ class LockFusedRewriter:
             # lock set keeps growing while expensive work accumulates —
             # a late conflict loses everything (the paper's Fig. 2).
             meter = WorkMeter()
-            candidate = find_best_candidate(aig, root, cutman, library, config, meter)
+            candidate = find_best_candidate(
+                aig, root, cutman, library, config, meter, observer=self.obs
+            )
             eval_cost = meter.units + 1
             yield Phase(locks=mffc(aig, root), cost=eval_cost // 2)
             yield Phase(

@@ -51,6 +51,30 @@ class RewriteResult:
             return 1.0
         return self.work_units / self.makespan_units
 
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable record (the CLI's ``--json`` payload)."""
+        return {
+            "engine": self.engine,
+            "workers": self.workers,
+            "area_before": self.area_before,
+            "area_after": self.area_after,
+            "area_reduction": self.area_reduction,
+            "area_reduction_pct": self.area_reduction_pct,
+            "delay_before": self.delay_before,
+            "delay_after": self.delay_after,
+            "replacements": self.replacements,
+            "attempted": self.attempted,
+            "passes": self.passes,
+            "work_units": self.work_units,
+            "makespan_units": self.makespan_units,
+            "speedup_vs_serial_work": self.speedup_vs_serial_work,
+            "conflicts": self.conflicts,
+            "aborted_units": self.aborted_units,
+            "validation_failures": self.validation_failures,
+            "revalidated": self.revalidated,
+            "stage_units": dict(self.stage_units),
+        }
+
     def summary(self) -> str:
         return (
             f"{self.engine}[{self.workers}w]: area {self.area_before} -> "

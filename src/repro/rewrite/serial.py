@@ -15,6 +15,7 @@ from ..aig import Aig
 from ..config import RewriteConfig, abc_rewrite_config
 from ..cuts import CutManager
 from ..library import StructureLibrary, get_library
+from ..obs.observer import NULL_OBSERVER, Observer
 from .base import WorkMeter, apply_candidate, find_best_candidate
 from .result import RewriteResult
 
@@ -28,9 +29,11 @@ class SerialRewriter:
         self,
         config: Optional[RewriteConfig] = None,
         library: Optional[StructureLibrary] = None,
+        observer: Optional[Observer] = None,
     ):
         self.config = config or abc_rewrite_config()
         self.library = library or get_library()
+        self.obs = observer if observer is not None else NULL_OBSERVER
 
     def run(self, aig: Aig) -> RewriteResult:
         """Rewrite ``aig`` in place; returns the result record."""
@@ -45,11 +48,40 @@ class SerialRewriter:
         )
         cutman = CutManager(aig, k=config.cut_size, max_cuts=config.max_cuts)
         meter = WorkMeter()
-        for _ in range(config.passes):
+        obs = self.obs
+
+        def now() -> int:
+            # The serial clock: one worker, so elapsed time IS the work
+            # performed so far (evaluation units + cut-merge units).
+            return meter.units + cutman.work
+
+        run_span = None
+        if obs.enabled:
+            run_span = obs.begin("run", "run", now(), engine=self.name,
+                                 workers=1, area_before=aig.num_ands)
+        for pass_index in range(config.passes):
             result.passes += 1
+            pass_span = sweep_span = None
+            start = now()
+            attempted_before = result.attempted
+            if obs.enabled:
+                pass_span = obs.begin("pass", "pass", start, index=pass_index)
+                sweep_span = obs.begin("sweep", "stage", start)
             changed = self._one_pass(aig, cutman, meter, result)
+            if obs.enabled:
+                attempted = result.attempted - attempted_before
+                obs.end(sweep_span, now(), activities=attempted,
+                        committed=attempted, conflicts=0,
+                        useful_units=now() - start, aborted_units=0)
+                obs.end(pass_span, now())
             if not changed:
                 break
+        if obs.enabled:
+            obs.end(run_span, now(), area_after=aig.num_ands,
+                    replacements=result.replacements)
+            obs.count("committed_total", result.attempted, stage="sweep")
+            obs.count("useful_units_total", now(), stage="sweep")
+            obs.count("replacements_total", result.replacements)
         result.area_after = aig.num_ands
         result.delay_after = aig.max_level()
         result.work_units = meter.units + cutman.work
@@ -69,7 +101,8 @@ class SerialRewriter:
                 continue
             result.attempted += 1
             candidate = find_best_candidate(
-                aig, root, cutman, self.library, self.config, meter
+                aig, root, cutman, self.library, self.config, meter,
+                observer=self.obs,
             )
             if candidate is None:
                 continue

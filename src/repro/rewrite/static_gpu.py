@@ -34,6 +34,7 @@ from ..core.validation import validate_candidate
 from ..cuts import CutManager, cut_is_stamp_alive
 from ..galois import Phase, SimulatedExecutor
 from ..library import StructureLibrary, get_library
+from ..obs.observer import NULL_OBSERVER, Observer
 from .base import Candidate, WorkMeter, apply_candidate, find_best_candidate
 from .result import RewriteResult
 
@@ -46,6 +47,7 @@ class StaticRewriter:
         config: Optional[RewriteConfig] = None,
         library: Optional[StructureLibrary] = None,
         variant: str = "dac22",
+        observer: Optional[Observer] = None,
     ):
         if variant not in ("dac22", "tcad23"):
             raise ValueError(f"unknown GPU variant {variant!r}")
@@ -53,12 +55,19 @@ class StaticRewriter:
         self.library = library or get_library()
         self.variant = variant
         self.name = f"gpu-{variant}"
+        self.obs = observer if observer is not None else NULL_OBSERVER
 
     def run(self, aig: Aig) -> RewriteResult:
         """Rewrite ``aig`` in place with static global information."""
         config = self.config
-        gpu = SimulatedExecutor(workers=config.workers)
-        cpu = SimulatedExecutor(workers=1)
+        obs = self.obs
+        # Device and host live on disjoint observer tracks; each keeps
+        # its own simulated clock (the makespans are summed, as the
+        # papers' pipelines do).
+        gpu = SimulatedExecutor(workers=config.workers, observer=obs)
+        cpu = SimulatedExecutor(
+            workers=1, observer=obs, track_offset=config.workers + 1
+        )
         result = RewriteResult(
             engine=self.name,
             workers=config.workers,
@@ -68,8 +77,15 @@ class StaticRewriter:
             delay_after=aig.max_level(),
         )
 
-        for _ in range(config.passes):
+        run_span = None
+        if obs.enabled:
+            run_span = obs.begin("run", "run", gpu.now, engine=self.name,
+                                 workers=config.workers, area_before=aig.num_ands)
+        for pass_index in range(config.passes):
             result.passes += 1
+            pass_span = None
+            if obs.enabled:
+                pass_span = obs.begin("pass", "pass", gpu.now, index=pass_index)
             cutman = CutManager(aig, k=config.cut_size, max_cuts=config.max_cuts)
             stored: Dict[int, Candidate] = {}
 
@@ -77,7 +93,8 @@ class StaticRewriter:
                 meter = WorkMeter()
                 before = cutman.work
                 candidate = find_best_candidate(
-                    aig, root, cutman, self.library, config, meter
+                    aig, root, cutman, self.library, config, meter,
+                    observer=self.obs,
                 )
                 yield Phase(locks=(), cost=meter.units + (cutman.work - before) + 1)
                 if candidate is not None:
@@ -106,8 +123,15 @@ class StaticRewriter:
                 del saved
 
             cpu.run("cpu-replace", sorted(stored), replace_operator)
+            if obs.enabled:
+                obs.end(pass_span, gpu.now, stored=len(stored))
             if not stored:
                 break
+        if obs.enabled:
+            obs.end(run_span, gpu.now, area_after=aig.num_ands,
+                    replacements=result.replacements)
+            obs.count("replacements_total", result.replacements)
+            obs.count("validation_failures_total", result.validation_failures)
 
         result.area_after = aig.num_ands
         result.delay_after = aig.max_level()
