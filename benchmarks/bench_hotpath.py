@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Standalone entry point for the hot-path micro-benchmarks.
+
+Equivalent to ``python -m repro bench``; exists so CI and developers
+can run the perf harness without installing the package:
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --quick --check
+
+``--check`` makes the run a regression gate: it exits nonzero unless
+the NPN canon LUT beats the scalar exhaustive search.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["bench"] + sys.argv[1:]))

@@ -13,6 +13,7 @@ from .generators import (
     square_like,
     voter_like,
 )
+from .hotpath import run_hotpath_bench, write_report
 from .suite import (
     epfl_names,
     make_epfl,
@@ -42,4 +43,6 @@ __all__ = [
     "table1_suite",
     "table2_suite",
     "table3_suite",
+    "run_hotpath_bench",
+    "write_report",
 ]

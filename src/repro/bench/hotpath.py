@@ -1,0 +1,166 @@
+"""Hot-path micro-benchmarks: the perf-trajectory harness.
+
+Three timings, written to ``BENCH_hotpath.json`` (``repro bench`` or
+``benchmarks/bench_hotpath.py``):
+
+* **npn-canon** — the 65 536-function sweep through the canon LUT
+  versus the per-call 768-transform exhaustive search.  LUT build time
+  is reported separately and excluded from the lookup rate: the build
+  is paid once per process, the lookups dominate every rewrite pass.
+* **cut-enumeration** — k-feasible cut enumeration throughput on a
+  generated MtM-like circuit, plus the truth-table expand-cache hit
+  counters.
+* **eval-stage** — end-to-end evaluation-stage throughput, simulated
+  executor versus the process-pool executor (same circuit, same cuts).
+
+Numbers are wall-clock on the current machine and honestly include
+any serialization overheads; on a single-core container the process
+executor is *expected* to trail the simulated one (snapshot pickling
+with no cores to amortize it over).  The CI gate only asserts the
+machine-independent invariant: the LUT must beat the scalar search.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import os
+import time
+from typing import Dict, Optional
+
+from ..config import dacpara_config
+from ..core.operators import StageContext, make_eval_operator
+from ..cuts import CutManager
+from ..galois import ProcessExecutor, SimulatedExecutor
+from ..library import get_library
+from .generators import mtm_like
+
+
+def _bench_npn_canon(quick: bool) -> Dict[str, object]:
+    from ..npn import canon as canon_mod
+    from ..npn import ensure_canon_lut, npn_canon, npn_canon_exhaustive
+
+    # LUT build, timed alone (one-off cost per process).
+    canon_mod._LUT_CANON = None
+    canon_mod._LUT_ROW = None
+    t0 = time.perf_counter()
+    ensure_canon_lut()
+    lut_build_seconds = time.perf_counter() - t0
+
+    sweep = 65536
+    # LUT lookups: the full sweep, per-call Python path (what rewriting
+    # actually executes).
+    t0 = time.perf_counter()
+    for tt in range(sweep):
+        npn_canon(tt)
+    lut_seconds = time.perf_counter() - t0
+
+    # Scalar baseline: first-call (unmemoized) exhaustive searches.
+    canon_mod._canon_cache.clear()
+    scalar_sample = 2048 if quick else sweep
+    stride = sweep // scalar_sample
+    t0 = time.perf_counter()
+    for tt in range(0, sweep, stride):
+        npn_canon_exhaustive(tt)
+    scalar_seconds = time.perf_counter() - t0
+
+    lut_rate = sweep / lut_seconds if lut_seconds > 0 else float("inf")
+    scalar_rate = scalar_sample / scalar_seconds if scalar_seconds > 0 else float("inf")
+    return {
+        "sweep_size": sweep,
+        "scalar_sample": scalar_sample,
+        "scalar_seconds": round(scalar_seconds, 6),
+        "scalar_lookups_per_second": round(scalar_rate, 1),
+        "lut_build_seconds": round(lut_build_seconds, 6),
+        "lut_seconds": round(lut_seconds, 6),
+        "lut_lookups_per_second": round(lut_rate, 1),
+        "speedup": round(lut_rate / scalar_rate, 2) if scalar_rate else None,
+    }
+
+
+def _bench_cut_enumeration(quick: bool) -> Dict[str, object]:
+    aig = mtm_like(num_pis=24, num_nodes=400 if quick else 2000, seed=3)
+    cutman = CutManager(aig, k=4, max_cuts=12)
+    live = aig.topo_ands()
+    t0 = time.perf_counter()
+    total_cuts = 0
+    for root in live:
+        total_cuts += len(cutman.fresh_cuts(root))
+    seconds = time.perf_counter() - t0
+    return {
+        "circuit": aig.name,
+        "nodes": len(live),
+        "cuts": total_cuts,
+        "seconds": round(seconds, 6),
+        "cuts_per_second": round(total_cuts / seconds, 1) if seconds > 0 else None,
+        "cache_hits": cutman.cache_hits,
+        "cache_misses": cutman.cache_misses,
+    }
+
+
+def _eval_context(aig) -> StageContext:
+    cutman = CutManager(aig, k=4, max_cuts=12)
+    live = aig.topo_ands()
+    for root in live:  # pre-enumerate, as the enum stage barrier would
+        cutman.fresh_cuts(root)
+    return StageContext(
+        aig=aig, cutman=cutman, library=get_library(), config=dacpara_config()
+    )
+
+
+def _bench_eval_stage(quick: bool, jobs: Optional[int]) -> Dict[str, object]:
+    num_nodes = 400 if quick else 2000
+    aig = mtm_like(num_pis=24, num_nodes=num_nodes, seed=3)
+    live = aig.topo_ands()
+
+    ctx = _eval_context(aig)
+    sim = SimulatedExecutor(8)
+    t0 = time.perf_counter()
+    sim.run("eval", live, make_eval_operator(ctx))
+    simulated_seconds = time.perf_counter() - t0
+
+    ctx = _eval_context(aig)
+    proc = ProcessExecutor(8, jobs=jobs)
+    try:
+        t0 = time.perf_counter()
+        proc.run_eval("eval", live, ctx)
+        process_seconds = time.perf_counter() - t0
+        snapshot_bytes = proc.snapshot_bytes_total
+        used_jobs = proc.jobs
+    finally:
+        proc.close()
+
+    return {
+        "circuit": aig.name,
+        "nodes": len(live),
+        "simulated_seconds": round(simulated_seconds, 6),
+        "simulated_nodes_per_second": round(len(live) / simulated_seconds, 1)
+        if simulated_seconds > 0 else None,
+        "process_seconds": round(process_seconds, 6),
+        "process_nodes_per_second": round(len(live) / process_seconds, 1)
+        if process_seconds > 0 else None,
+        "jobs": used_jobs,
+        "snapshot_bytes": snapshot_bytes,
+    }
+
+
+def run_hotpath_bench(quick: bool = False, jobs: Optional[int] = None) -> Dict[str, object]:
+    """Run all three micro-benchmarks; returns the report dict."""
+    return {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": quick,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "npn_canon": _bench_npn_canon(quick),
+        "cut_enumeration": _bench_cut_enumeration(quick),
+        "eval_stage": _bench_eval_stage(quick, jobs),
+    }
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

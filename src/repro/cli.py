@@ -27,6 +27,7 @@ from typing import List, Optional
 from .aig import Aig, read_aiger, write_aag, write_aig
 from .bench import epfl_names, make_epfl, make_mtm, mtm_names
 from .experiments import ENGINE_FACTORIES, make_engine
+from .galois import EXECUTOR_KINDS
 from .obs import (
     TracingObserver,
     chrome_trace_json,
@@ -90,6 +91,19 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
     original = aig.copy() if args.verify else None
     obs = _make_observer(args)
     engine = make_engine(args.engine, workers=args.workers, observer=obs)
+    if args.executor is not None:
+        if not hasattr(engine, "executor_kind"):
+            print(
+                f"engine {args.engine!r} does not take --executor",
+                file=sys.stderr,
+            )
+            return 1
+        engine.executor_kind = args.executor
+    if args.jobs is not None:
+        if not hasattr(engine, "jobs"):
+            print(f"engine {args.engine!r} does not take --jobs", file=sys.stderr)
+            return 1
+        engine.jobs = args.jobs
     start = time.perf_counter()
     result = engine.run(aig)
     wall = time.perf_counter() - start
@@ -205,6 +219,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", default="dacpara", choices=sorted(ENGINE_FACTORIES)
     )
     p_rw.add_argument("--workers", type=int, default=None)
+    p_rw.add_argument(
+        "--executor", default=None, choices=sorted(EXECUTOR_KINDS),
+        help="execution backend: 'simulated' is the deterministic "
+             "instrument, 'process' evaluates on real cores",
+    )
+    p_rw.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="OS worker processes for --executor process "
+             "(default: core count)",
+    )
     p_rw.add_argument("--verify", action="store_true")
     p_rw.add_argument(
         "--trace", metavar="PATH",
@@ -254,9 +278,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_gen.set_defaults(func=_cmd_gen)
 
+    p_bench = sub.add_parser(
+        "bench", help="run the hot-path micro-benchmarks"
+    )
+    p_bench.add_argument(
+        "-o", "--output", default="BENCH_hotpath.json",
+        help="where to write the JSON report (default: BENCH_hotpath.json)",
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="smaller circuits and a subsampled scalar NPN baseline",
+    )
+    p_bench.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero unless the NPN LUT beats the scalar baseline",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
+
     p_shell = sub.add_parser("shell", help="interactive ABC-style shell")
     p_shell.set_defaults(func=_cmd_shell)
     return parser
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench.hotpath import run_hotpath_bench, write_report
+
+    report = run_hotpath_bench(quick=args.quick)
+    write_report(report, args.output)
+    npn = report["npn_canon"]
+    print(
+        f"npn-canon: lut {npn['lut_lookups_per_second']:.0f}/s vs scalar "
+        f"{npn['scalar_lookups_per_second']:.0f}/s "
+        f"(speedup {npn['speedup']:.1f}x, LUT build {npn['lut_build_seconds']:.3f}s)"
+    )
+    cuts = report["cut_enumeration"]
+    print(
+        f"cut-enum: {cuts['cuts_per_second']:.0f} cuts/s, "
+        f"tt-cache hits/misses {cuts['cache_hits']}/{cuts['cache_misses']}"
+    )
+    ev = report["eval_stage"]
+    print(
+        f"eval-stage: simulated {ev['simulated_nodes_per_second']:.0f} nodes/s, "
+        f"process {ev['process_nodes_per_second']:.0f} nodes/s "
+        f"(jobs={ev['jobs']})"
+    )
+    print(f"written: {args.output}")
+    if args.check and npn["speedup"] <= 1.0:
+        print(
+            f"CHECK FAILED: NPN LUT not faster than scalar "
+            f"(speedup {npn['speedup']:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cmd_shell(args: argparse.Namespace) -> int:

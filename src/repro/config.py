@@ -31,6 +31,12 @@ class RewriteConfig:
     preserve_level: bool = False
     workers: int = 1
     seed: int = 0
+    # Execution backend: 'simulated' (deterministic instrument),
+    # 'process' (wall-clock multi-core eval), 'threaded', 'serial'.
+    executor: str = "simulated"
+    # OS worker processes for the process executor; None = core count.
+    # Independent of ``workers`` (the logical parallelism model).
+    jobs: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.cut_size != 4:
@@ -43,6 +49,10 @@ class RewriteConfig:
             raise ConfigError("max_cuts must be positive or None")
         if self.max_structs is not None and self.max_structs < 1:
             raise ConfigError("max_structs must be positive or None")
+        if self.executor not in ("simulated", "threaded", "serial", "process"):
+            raise ConfigError(f"unknown executor {self.executor!r}")
+        if self.jobs is not None and self.jobs < 1:
+            raise ConfigError("jobs must be >= 1 or None")
         class_set(self.npn_classes)  # validates the name
 
     @property
@@ -51,6 +61,9 @@ class RewriteConfig:
 
     def with_workers(self, workers: int) -> "RewriteConfig":
         return replace(self, workers=workers)
+
+    def with_executor(self, executor: str, jobs: Optional[int] = None) -> "RewriteConfig":
+        return replace(self, executor=executor, jobs=jobs)
 
 
 def abc_rewrite_config() -> RewriteConfig:

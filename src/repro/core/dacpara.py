@@ -40,16 +40,20 @@ class DACParaRewriter:
         self,
         config: Optional[RewriteConfig] = None,
         library: Optional[StructureLibrary] = None,
-        executor_kind: str = "simulated",
+        executor_kind: Optional[str] = None,
         validate: bool = True,
         partition: str = "level",
         observer: Optional[Observer] = None,
+        jobs: Optional[int] = None,
     ):
         if partition not in ("level", "single"):
             raise ValueError(f"unknown partition mode {partition!r}")
         self.config = config or dacpara_config()
         self.library = library or get_library()
-        self.executor_kind = executor_kind
+        # Executor kind: explicit argument wins, then the config field.
+        self.executor_kind = executor_kind or self.config.executor
+        # OS process count for the process executor (None = core count).
+        self.jobs = jobs if jobs is not None else self.config.jobs
         self.validate = validate  # False = ablation (static information)
         # 'level' = the paper's nodeDividing; 'single' = ablation: one
         # global worklist, maximizing staleness between eval and replace.
@@ -62,7 +66,16 @@ class DACParaRewriter:
         """Rewrite ``aig`` in place (Algorithm 1); returns the record."""
         config = self.config
         obs = self.obs
-        executor = make_executor(self.executor_kind, config.workers, observer=obs)
+        executor = make_executor(
+            self.executor_kind, config.workers, observer=obs, jobs=self.jobs
+        )
+        # Native fan-out eval (process executor) recreates the library
+        # lookup inside workers via ``get_library()``; a custom library
+        # must stay on the generic operator path.
+        native_eval = (
+            getattr(executor, "supports_native_eval", False)
+            and self.library is get_library()
+        )
         result = RewriteResult(
             engine=self.name,
             workers=config.workers,
@@ -86,50 +99,59 @@ class DACParaRewriter:
                 "run", "run", executor.now, engine=self.name,
                 workers=config.workers, area_before=aig.num_ands,
             )
-        for pass_index in range(config.passes):
-            result.passes += 1
-            replacements_before = ctx.replacements
-            if self.partition == "level":
-                worklists = node_dividing(aig)
-            else:
-                worklists = [aig.topo_ands()]
-            pass_span = None
-            if obs.enabled:
-                pass_span = obs.begin(
-                    "pass", "pass", executor.now, index=pass_index,
-                    worklists=len(worklists),
-                )
-            for level, worklist in enumerate(worklists, start=1):
-                live = [v for v in worklist if not aig.is_dead(v)]
-                if not live:
-                    continue
-                ctx.reset_round()
-                wl_span = None
+        try:
+            for pass_index in range(config.passes):
+                result.passes += 1
+                replacements_before = ctx.replacements
+                if self.partition == "level":
+                    worklists = node_dividing(aig)
+                else:
+                    worklists = [aig.topo_ands()]
+                pass_span = None
                 if obs.enabled:
-                    wl_span = obs.begin(
-                        "worklist", "worklist", executor.now,
-                        level=level if self.partition == "level" else 0,
-                        size=len(live),
+                    pass_span = obs.begin(
+                        "pass", "pass", executor.now, index=pass_index,
+                        worklists=len(worklists),
                     )
-                    obs.observe("worklist_occupancy", len(live))
-                executor.run("enum", live, enum_op)
-                executor.run("eval", live, eval_op)
-                pending = [v for v in live if ctx.prep_info.get(v) is not None]
-                if pending:
-                    executor.run("replace", pending, replace_op)
+                for level, worklist in enumerate(worklists, start=1):
+                    live = [v for v in worklist if not aig.is_dead(v)]
+                    if not live:
+                        continue
+                    ctx.reset_round()
+                    wl_span = None
+                    if obs.enabled:
+                        wl_span = obs.begin(
+                            "worklist", "worklist", executor.now,
+                            level=level if self.partition == "level" else 0,
+                            size=len(live),
+                        )
+                        obs.observe("worklist_occupancy", len(live))
+                    executor.run("enum", live, enum_op)
+                    if native_eval:
+                        executor.run_eval("eval", live, ctx)
+                    else:
+                        executor.run("eval", live, eval_op)
+                    pending = [v for v in live if ctx.prep_info.get(v) is not None]
+                    if pending:
+                        executor.run("replace", pending, replace_op)
+                    if obs.enabled:
+                        obs.end(wl_span, executor.now, pending=len(pending))
                 if obs.enabled:
-                    obs.end(wl_span, executor.now, pending=len(pending))
-            if obs.enabled:
-                obs.end(pass_span, executor.now,
-                        replacements=ctx.replacements - replacements_before)
-            if ctx.replacements == replacements_before:
-                break
+                    obs.end(pass_span, executor.now,
+                            replacements=ctx.replacements - replacements_before)
+                if ctx.replacements == replacements_before:
+                    break
+        finally:
+            executor.close()
         if obs.enabled:
             obs.end(run_span, executor.now, area_after=aig.num_ands,
                     replacements=ctx.replacements)
             for cause, n in ctx.validation_stats.as_dict().items():
                 if n:
                     obs.count("validation_causes_total", n, cause=cause)
+            if cutman.cache_hits or cutman.cache_misses:
+                obs.count("cut_tt_cache_hits_total", cutman.cache_hits)
+                obs.count("cut_tt_cache_misses_total", cutman.cache_misses)
 
         self.last_stats = executor.stats
         self.last_validation_stats = ctx.validation_stats

@@ -20,10 +20,17 @@ from typing import Dict, List, Optional, Tuple
 from ..aig import Aig
 from ..aig.literals import lit_compl, lit_var
 from ..errors import CutError
-from ..npn.truth import expand, full_mask
+from ..npn.truth import batch_expand, expand_map16, full_mask
 from .cut import Cut, cut_is_stamp_alive, trivial_cut
 
 DEFAULT_MAX_CUTS = 12
+
+# Masks indexed by cut width; merge never recomputes full_mask().
+_FULL_MASKS = tuple(full_mask(n) for n in range(5))
+
+# Pair count at which a merge switches from the memoized scalar
+# expansion to the numpy batch kernel (array setup has fixed overhead).
+BATCH_MERGE_THRESHOLD = 24
 
 
 class CutManager:
@@ -40,6 +47,13 @@ class CutManager:
         # (used by operators as the lock region of the shared recursion).
         self.last_computed: List[int] = []
         self._cache: Dict[int, Tuple[int, List[Cut]]] = {}
+        # Truth-table expansion memo: (tt, src, dst) -> expanded table.
+        # The same fanin cut is lifted to the same union leaf set every
+        # time two cut sets re-merge, so this is the hottest memo in the
+        # enumeration stage.  Hit/miss counters feed the observer.
+        self._expand_cache: Dict[Tuple[int, Tuple[int, ...], Tuple[int, ...]], int] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------
 
@@ -114,40 +128,123 @@ class CutManager:
 
     def clear(self) -> None:
         self._cache.clear()
+        self._expand_cache.clear()
 
     # ------------------------------------------------------------------
 
     def _merge_node(self, v: int) -> List[Cut]:
-        """Merge the fanin cut sets of AND node ``v``."""
+        """Merge the fanin cut sets of AND node ``v``.
+
+        Two-phase: first collect the k-feasible pairs, then expand the
+        pair tables — through the memo for small pair sets, through the
+        vectorized :func:`batch_expand` kernel for large ones.  Both
+        paths produce bit-identical tables, so the choice never affects
+        results (property-tested).
+        """
         aig = self.aig
         f0, f1 = aig.fanin0(v), aig.fanin1(v)
         c0_all = self._live_cuts(lit_var(f0))
         c1_all = self._live_cuts(lit_var(f1))
         comp0, comp1 = lit_compl(f0), lit_compl(f1)
         k = self.k
-        results: List[Cut] = []
+        pairs: List[Tuple[Cut, Cut, Tuple[int, ...]]] = []
         for c0 in c0_all:
             for c1 in c1_all:
                 self.work += 1
                 union = sorted(set(c0.leaves) | set(c1.leaves))
                 if len(union) > k:
                     continue
-                dst = tuple(union)
-                t0 = expand(c0.tt, c0.leaves, dst)
-                t1 = expand(c1.tt, c1.leaves, dst)
-                mask = full_mask(len(dst))
-                if comp0:
-                    t0 ^= mask
-                if comp1:
-                    t1 ^= mask
-                tt = t0 & t1
-                stamps = tuple(aig.life_stamp(l) for l in dst)
-                self._add_filtered(results, Cut(dst, tt, stamps))
+                pairs.append((c0, c1, tuple(union)))
+
+        if len(pairs) >= BATCH_MERGE_THRESHOLD:
+            tables = self._expand_pairs_batch(pairs)
+        else:
+            tables = [
+                (
+                    self._expand_cached(c0.tt, c0.leaves, dst),
+                    self._expand_cached(c1.tt, c1.leaves, dst),
+                )
+                for c0, c1, dst in pairs
+            ]
+
+        results: List[Cut] = []
+        for (c0, c1, dst), (t0, t1) in zip(pairs, tables):
+            mask = _FULL_MASKS[len(dst)]
+            if comp0:
+                t0 ^= mask
+            if comp1:
+                t1 ^= mask
+            tt = t0 & t1 & mask
+            stamps = tuple(aig.life_stamp(l) for l in dst)
+            self._add_filtered(results, Cut(dst, tt, stamps))
         results.sort(key=lambda c: (-c.size, c.leaves))
         if self.max_cuts is not None and len(results) > self.max_cuts:
             results = results[: self.max_cuts]
         results.append(trivial_cut(aig, v))
         return results
+
+    def _expand_cached(self, tt: int, src: Tuple[int, ...], dst: Tuple[int, ...]) -> int:
+        """Memoized lift of ``tt`` from leaf set ``src`` to ``dst``."""
+        if src == dst:
+            return tt
+        key = (tt, src, dst)
+        hit = self._expand_cache.get(key)
+        if hit is not None:
+            self.cache_hits += 1
+            return hit
+        self.cache_misses += 1
+        mapping = expand_map16(tuple(dst.index(s) for s in src))
+        out = 0
+        for j_bit, j in enumerate(mapping[: _FULL_MASKS[len(dst)].bit_length()]):
+            if (tt >> j) & 1:
+                out |= 1 << j_bit
+        out &= _FULL_MASKS[len(dst)]
+        self._expand_cache[key] = out
+        return out
+
+    def _expand_pairs_batch(
+        self, pairs: List[Tuple[Cut, Cut, Tuple[int, ...]]]
+    ) -> List[Tuple[int, int]]:
+        """Expand all pair tables with one numpy gather per side.
+
+        Uncached entries from both sides share a single
+        :func:`batch_expand` call; results land in the same memo the
+        scalar path uses, so repeated merges stay cheap either way.
+        """
+        cache = self._expand_cache
+        out0: List[int] = [0] * len(pairs)
+        out1: List[int] = [0] * len(pairs)
+        todo_tts: List[int] = []
+        todo_maps: List[Tuple[int, ...]] = []
+        todo_slots: List[Tuple[int, int]] = []  # (pair index, side)
+        todo_keys: List[Tuple[int, Tuple[int, ...], Tuple[int, ...]]] = []
+        for idx, (c0, c1, dst) in enumerate(pairs):
+            for side, cut in ((0, c0), (1, c1)):
+                slot = out0 if side == 0 else out1
+                if cut.leaves == dst:
+                    slot[idx] = cut.tt
+                    continue
+                key = (cut.tt, cut.leaves, dst)
+                hit = cache.get(key)
+                if hit is not None:
+                    self.cache_hits += 1
+                    slot[idx] = hit
+                    continue
+                self.cache_misses += 1
+                todo_tts.append(cut.tt)
+                todo_maps.append(expand_map16(tuple(dst.index(s) for s in cut.leaves)))
+                todo_slots.append((idx, side))
+                todo_keys.append(key)
+        if todo_tts:
+            expanded = batch_expand(todo_tts, todo_maps)
+            for (idx, side), key, value in zip(todo_slots, todo_keys, expanded):
+                tt = int(value) & _FULL_MASKS[len(key[2])]
+                cache[key] = tt
+                if side == 0:
+                    out0[idx] = tt
+                else:
+                    out1[idx] = tt
+        return list(zip(out0, out1))
 
     def _live_cuts(self, var: int) -> List[Cut]:
         entry = self._cache[var]

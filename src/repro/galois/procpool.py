@@ -1,0 +1,284 @@
+"""Process-pool executor: true multi-core wall-clock for the eval stage.
+
+The paper's argument (Section 4.3) is that evaluation — >90 % of
+rewrite runtime — is embarrassingly parallel: it only *reads* the
+shared graph and writes disjoint ``prepInfo`` slots.  The GIL keeps the
+threaded executor from cashing that in; this executor does it with
+``concurrent.futures.ProcessPoolExecutor``:
+
+1. the parent captures the worklist's shared read state **once** into a
+   compact :class:`~repro.aig.snapshot.AigSnapshot` (flat numpy arrays,
+   cheap to pickle) and harvests each root's enumerated cut set from
+   the cut manager — workers never re-enumerate, so they see exactly
+   the cuts the enumeration stage produced;
+2. node chunks fan out to a persistent worker pool (one pre-pickled
+   snapshot blob shared by every chunk of a stage);
+3. returned candidates are merged into ``prepInfo`` on the parent by
+   **replaying** them through the inherited simulated scheduler with
+   the workers' reported per-node costs.
+
+Step 3 is what makes ``executor_kind="process"`` produce *byte-
+identical* results, stats and traces to ``"simulated"``: evaluation
+costs are data-driven (structures evaluated per cut), independent of
+where the computation physically ran, so the replay reconstructs the
+exact simulated timeline while the heavy lifting happened on real
+cores.  Enumeration and replacement run on the inherited simulated
+path — graph mutation semantics are untouched.
+
+When the platform cannot spawn processes (restricted sandboxes), the
+executor falls back to computing chunks in-parent — same results, no
+parallelism — and says so once via ``warnings``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import warnings
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..aig.snapshot import AigSnapshot
+from ..obs.observer import Observer
+from .activity import Phase
+from .simsched import SimulatedExecutor
+from .stats import StageStats
+
+#: Worklists smaller than this are evaluated in-parent: the snapshot
+#: pickle plus IPC round-trip costs more than the evaluation itself.
+MIN_FANOUT = 16
+
+
+def default_jobs() -> int:
+    """Worker process count: one per core."""
+    return max(1, os.cpu_count() or 1)
+
+
+class _MetricCollector(Observer):
+    """Order-insensitive metric sink used inside eval workers.
+
+    Counters and histogram observations recorded against the snapshot
+    are replayed into the parent's observer after the fan-in, so a
+    process run reports the same ``npn_class_hits_total``/
+    ``cuts_per_node``/``gain`` metrics a simulated run does.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counts: Dict[Tuple[str, Tuple[Tuple[str, object], ...]], int] = {}
+        self.observations: List[Tuple[str, float]] = []
+
+    def count(self, name: str, n: int = 1, **labels: object) -> None:
+        key = (name, tuple(sorted(labels.items())))
+        self.counts[key] = self.counts.get(key, 0) + n
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        self.observations.append((name, value))
+
+    def replay_into(self, obs: Observer) -> None:
+        for (name, labels), n in sorted(self.counts.items()):
+            obs.count(name, n, **dict(labels))
+        for name, value in self.observations:
+            obs.observe(name, value)
+
+    def merge(self, other: "_MetricCollector") -> None:
+        for key, n in other.counts.items():
+            self.counts[key] = self.counts.get(key, 0) + n
+        self.observations.extend(other.observations)
+
+
+def _eval_tasks(aig_like, tasks, config, collector) -> List[Tuple[int, object, int]]:
+    """Evaluate each (root, cuts) task against a read-only AIG view.
+
+    Runs identically against a live :class:`Aig` (in-parent fallback)
+    or an :class:`AigSnapshot` (worker side).  Returns
+    ``(root, candidate-or-None, work-units)`` triples; units are the
+    same structure-evaluation counts the simulated eval operator
+    charges, which is what lets the parent replay the timeline.
+    """
+    from ..library import get_library
+    from ..rewrite.base import WorkMeter, best_candidate_over_cuts
+
+    library = get_library()
+    out: List[Tuple[int, object, int]] = []
+    for root, cuts in tasks:
+        if aig_like.is_dead(root):
+            out.append((root, None, -1))  # sentinel: skip entirely
+            continue
+        meter = WorkMeter()
+        candidate = best_candidate_over_cuts(
+            aig_like, root, cuts, library, config, meter, observer=collector
+        )
+        out.append((root, candidate, meter.units))
+    return out
+
+
+def _eval_chunk(blob: bytes, tasks, config):
+    """Worker entry point: unpickle the snapshot, evaluate one chunk."""
+    snapshot = pickle.loads(blob)
+    collector = _MetricCollector()
+    return _eval_tasks(snapshot, tasks, config, collector), collector
+
+
+def _warm_shared_state(config) -> None:
+    """Build the heavyweight read-only tables in the parent before the
+    pool forks, so workers inherit them copy-on-write instead of each
+    rebuilding the NPN LUT and the enumeration table."""
+    from ..library import enumeration_table, get_library
+    from ..npn import ensure_canon_lut
+
+    ensure_canon_lut()
+    enumeration_table()
+    get_library()
+    config.allowed_classes  # forces the class-set (and canon) tables
+
+
+class ProcessExecutor(SimulatedExecutor):
+    """Simulated scheduler whose eval stage runs on real processes.
+
+    ``workers`` is the *logical* worker count of the simulated timeline
+    (the paper's parallelism model); ``jobs`` is the number of OS
+    worker processes doing the physical evaluation (defaults to the
+    core count).  The two are independent knobs: quality and reported
+    speedups follow ``workers``, wall-clock follows ``jobs``.
+    """
+
+    supports_native_eval = True
+
+    def __init__(
+        self,
+        workers: int,
+        observer: Optional[Observer] = None,
+        jobs: Optional[int] = None,
+    ):
+        super().__init__(workers, observer=observer)
+        self.jobs = jobs if jobs is not None else default_jobs()
+        if self.jobs < 1:
+            raise ValueError(f"need at least one job, got {self.jobs}")
+        self._pool = None
+        self._pool_broken = False
+        self.snapshot_bytes_total = 0
+        self.eval_wall_seconds = 0.0
+
+    # -- pool management ----------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None and not self._pool_broken:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            except (ImportError, OSError, ValueError) as exc:
+                self._pool_broken = True
+                warnings.warn(
+                    f"process pool unavailable ({exc}); evaluating in-parent",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- the native eval stage ----------------------------------------
+
+    def run_eval(self, name: str, items: Sequence[int], ctx) -> StageStats:
+        """Fan the eval stage out to processes, then replay the merge.
+
+        ``ctx`` is the :class:`~repro.core.operators.StageContext`; the
+        replay stores each returned candidate into ``ctx.prep_info``
+        exactly as the simulated eval operator would.
+        """
+        start_wall = time.perf_counter()
+        obs = self.obs
+        # Harvest the enumerated cut sets (cache hits after the enum
+        # stage barrier) — workers must see these, not a re-enumeration.
+        tasks = [(root, tuple(ctx.cutman.fresh_cuts(root))) for root in items]
+        collector = _MetricCollector()
+        snapshot_bytes = 0
+        chunks = 0
+
+        pool = self._ensure_pool() if len(items) >= MIN_FANOUT else None
+        if pool is not None:
+            _warm_shared_state(ctx.config)
+            blob = pickle.dumps(
+                AigSnapshot.capture(ctx.aig), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            snapshot_bytes = len(blob)
+            self.snapshot_bytes_total += snapshot_bytes
+            step = (len(tasks) + self.jobs - 1) // self.jobs
+            parts = [tasks[i : i + step] for i in range(0, len(tasks), step)]
+            chunks = len(parts)
+            try:
+                futures = [
+                    pool.submit(_eval_chunk, blob, part, ctx.config)
+                    for part in parts
+                ]
+                merged: List[Tuple[int, object, int]] = []
+                for future in futures:
+                    part_results, part_collector = future.result()
+                    merged.extend(part_results)
+                    collector.merge(part_collector)
+            except (OSError, MemoryError) as exc:
+                # A dead pool (killed worker, fork limit) degrades to
+                # the in-parent path rather than losing the run.
+                warnings.warn(
+                    f"process fan-out failed ({exc}); evaluating in-parent",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self._pool_broken = True
+                self.close()
+                merged = _eval_tasks(ctx.aig, tasks, ctx.config, collector)
+        else:
+            merged = _eval_tasks(ctx.aig, tasks, ctx.config, collector)
+
+        results = {root: (candidate, units) for root, candidate, units in merged}
+        fanout_wall = time.perf_counter() - start_wall
+        self.eval_wall_seconds += fanout_wall
+
+        if obs.enabled:
+            collector.replay_into(obs)
+            obs.observe("eval_fanout_wall_seconds", fanout_wall)
+            if snapshot_bytes:
+                obs.observe("snapshot_bytes", snapshot_bytes)
+
+        # Replay through the simulated scheduler: identical costs on
+        # identical logical workers reconstruct the simulated timeline,
+        # spans and stats bit-for-bit.
+        prep_info = ctx.prep_info
+        meter = ctx.meter
+
+        def replay_operator(root: int):
+            candidate, units = results[root]
+            if units < 0:  # dead root: the eval operator does nothing
+                return
+            meter.add(units)
+            yield Phase(locks=(), cost=units + 1)
+            prep_info.store(root, candidate)
+
+        span = None
+        if obs.enabled:
+            span = obs.begin(
+                "eval_fanout", "fanout", self.now, nodes=len(items),
+                jobs=self.jobs, chunks=chunks,
+            )
+        stage = self.run(name, items, replay_operator)
+        stage.wall_seconds = time.perf_counter() - start_wall
+        if obs.enabled:
+            obs.end(
+                span, self.now,
+                wall_ms=round(stage.wall_seconds * 1e3, 3),
+                snapshot_bytes=snapshot_bytes,
+            )
+        return stage

@@ -33,6 +33,7 @@ measured under the same rule, so comparisons are unaffected.
 from __future__ import annotations
 
 import heapq
+import time
 from collections import deque
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -90,8 +91,13 @@ class SimulatedExecutor:
         self.obs = observer if observer is not None else NULL_OBSERVER
         self.track_offset = track_offset
 
+    def close(self) -> None:
+        """Release executor resources (no-op here; the process-pool
+        executor overrides this to shut its worker pool down)."""
+
     def run(self, name: str, items: Sequence, operator: Operator) -> StageStats:
         """Execute ``operator(item)`` for every item; returns stage stats."""
+        start_wall = time.perf_counter()
         stage = StageStats(name=name, start_time=self.now, end_time=self.now)
         stage.activities = len(items)
         obs = self.obs
@@ -154,6 +160,7 @@ class SimulatedExecutor:
                     obs.instant("conflict", name, t + acc, track)
                 count = retry_counts.get(id(item), 0) + 1
                 retry_counts[id(item)] = count
+                stage.retries += 1
                 if count > MAX_RETRIES:
                     raise SchedulerError(
                         f"activity retried more than {MAX_RETRIES} times"
@@ -179,6 +186,10 @@ class SimulatedExecutor:
             stage.end_time = max(stage.end_time, end)
 
         self.now = stage.end_time
+        # Physical time goes into the stats only, never into the span
+        # (trace timestamps are simulated units and must stay
+        # byte-identical across re-runs).
+        stage.wall_seconds = time.perf_counter() - start_wall
         self.stats.stages.append(stage)
         if obs.enabled:
             _publish_stage(obs, stage)

@@ -4,9 +4,10 @@ Exists to demonstrate that the operator protocol is genuinely safe
 under preemptive interleaving — it runs the same generators as the
 simulated executor with real ``threading`` workers and a shared lock
 registry.  Wall-clock speedup is *not* the point (the GIL serializes
-pure-Python work; DESIGN.md documents this substitution); the tests
-use it to show results and graph invariants are preserved under real
-concurrency.
+pure-Python work; DESIGN.md documents this substitution; the
+process-pool executor in :mod:`repro.galois.procpool` is the one built
+for wall-clock); the tests use it to show results and graph invariants
+are preserved under real concurrency.
 
 Two safety layers:
 
@@ -14,11 +15,17 @@ Two safety layers:
 * one global commit mutex around the final generator resumption,
   because the shared graph's Python dict/list internals are not
   safe for concurrent *mutation* (reads are).
+
+Contended activities retry with capped exponential backoff instead of
+hot-spinning the queue; an activity that exhausts ``MAX_RETRIES``
+raises a :class:`SchedulerError` naming the lock keys it kept losing
+on, and every requeue is counted in the stage's ``retries``.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import List, Optional, Sequence
 
@@ -28,7 +35,13 @@ from .activity import Operator, Phase
 from .simsched import _publish_stage
 from .stats import ExecutionStats, StageStats
 
-MAX_RETRIES = 10_000
+MAX_RETRIES = 1_000
+# Exponential backoff: BACKOFF_BASE * 2**min(attempts, BACKOFF_CAP_EXP)
+# seconds before a contended activity is requeued, capped at
+# BACKOFF_MAX so a long-held hub lock cannot park a worker forever.
+BACKOFF_BASE = 2e-5
+BACKOFF_CAP_EXP = 10
+BACKOFF_MAX = 0.02
 
 
 class ThreadedExecutor:
@@ -52,8 +65,12 @@ class ThreadedExecutor:
         self._held: dict = {}  # lock key -> owner thread id
         self._commit_mutex = threading.Lock()
 
+    def close(self) -> None:
+        """No pooled resources to release (threads are per-stage)."""
+
     def run(self, name: str, items: Sequence, operator: Operator) -> StageStats:
         """Execute ``operator(item)`` on real threads; returns stats."""
+        start_wall = time.perf_counter()
         stage = StageStats(name=name, start_time=self.now, end_time=self.now)
         stage.activities = len(items)
         queue = deque((item, 0) for item in items)
@@ -71,6 +88,7 @@ class ThreadedExecutor:
                 mine: List[object] = []
                 gen = operator(item)
                 conflicted = False
+                contended: List[object] = []
                 acc = 0
                 try:
                     phases = iter(gen)
@@ -81,8 +99,10 @@ class ThreadedExecutor:
                                 phase = next(phases)
                             except StopIteration:
                                 break
-                        if not self._try_acquire(phase.locks, me, mine):
+                        loser = self._try_acquire(phase.locks, me, mine)
+                        if loser is not None:
                             conflicted = True
+                            contended.append(loser)
                             break
                         acc += phase.cost
                 except BaseException as exc:  # pragma: no cover
@@ -102,9 +122,23 @@ class ThreadedExecutor:
                 if conflicted:
                     if attempts + 1 > MAX_RETRIES:
                         errors.append(
-                            SchedulerError("threaded activity retried too often")
+                            SchedulerError(
+                                f"activity {item!r} aborted {attempts + 1} "
+                                f"times in stage {name!r}; contended keys: "
+                                f"{sorted(map(repr, set(contended)))[:8]}"
+                            )
                         )
                         return
+                    with stats_mutex:
+                        stage.retries += 1
+                    # Capped exponential backoff: let the conflicting
+                    # holder finish instead of hot-spinning the queue.
+                    time.sleep(
+                        min(
+                            BACKOFF_MAX,
+                            BACKOFF_BASE * (1 << min(attempts, BACKOFF_CAP_EXP)),
+                        )
+                    )
                     with queue_mutex:
                         queue.append((item, attempts + 1))
 
@@ -123,6 +157,7 @@ class ThreadedExecutor:
         # (wall-clock is GIL-distorted and non-reproducible; see module
         # docstring) so stats and traces stay monotonic.
         stage.end_time = self.now + stage.useful_units
+        stage.wall_seconds = time.perf_counter() - start_wall
         self.now = stage.end_time
         self.stats.stages.append(stage)
         if obs.enabled:
@@ -132,19 +167,21 @@ class ThreadedExecutor:
                     aborted_units=stage.aborted_units)
         return stage
 
-    def _try_acquire(self, locks, me: int, mine: List[object]) -> bool:
+    def _try_acquire(self, locks, me: int, mine: List[object]):
+        """Acquire every key in ``locks`` or none; returns the first
+        contended key on failure, None on success."""
         if not locks:
-            return True
+            return None
         with self._registry_mutex:
             for key in locks:
                 owner = self._held.get(key)
                 if owner is not None and owner != me:
-                    return False
+                    return key
             for key in locks:
                 if key not in self._held:
                     self._held[key] = me
                     mine.append(key)
-        return True
+        return None
 
     def _release(self, mine: List[object]) -> None:
         if not mine:
@@ -153,5 +190,3 @@ class ThreadedExecutor:
             for key in mine:
                 self._held.pop(key, None)
             mine.clear()
-
-

@@ -1,6 +1,7 @@
 """Replacement-structure library (the NST and its generators)."""
 
 from .isop import Cube, cover_tt, cube_tt, isop
+from .cache import CACHE_VERSION, ENV_VAR, cache_path, load_cache, save_cache
 from .factor import factor_to_structure
 from .nst import DEFAULT_MAX_STRUCTS, StructureLibrary, get_library
 from .structures import (
@@ -13,6 +14,11 @@ from .structures import (
 from .synthesis import ENUM_BUDGET, candidates, enumeration_table
 
 __all__ = [
+    "CACHE_VERSION",
+    "ENV_VAR",
+    "cache_path",
+    "load_cache",
+    "save_cache",
     "Cube",
     "cover_tt",
     "cube_tt",

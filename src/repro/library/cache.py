@@ -1,0 +1,120 @@
+"""Persistent NPN-class → structure cache.
+
+Structure synthesis (ISOP + factoring + bounded enumeration) is pure —
+the candidate list for a canonical class depends only on the class and
+``max_structs`` — so its results can be carried across processes.  Set
+``REPRO_NST_CACHE=/path/to/cache.json`` to load previously synthesized
+structures at library creation and save newly synthesized ones on
+demand; the process-pool executor's workers inherit the warm table
+through the pre-fork preload, so the cache mostly pays off across
+*runs* (repeated benchmarking, CI) rather than within one.
+
+Safety over speed: entries are verified on load — a structure is only
+accepted if it topologically validates *and* its truth table still
+evaluates to the class it is filed under.  A corrupt, stale or
+hand-edited cache therefore degrades to a miss (and a resynthesis),
+never to wrong rewrites.  The whole feature is opt-in via the
+environment variable precisely so default runs cannot be perturbed by
+leftover state on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from typing import Dict, Optional, Tuple
+
+from ..npn.truth import MASK4
+from .structures import Structure
+
+ENV_VAR = "REPRO_NST_CACHE"
+
+#: Bump when the serialized structure format changes.
+CACHE_VERSION = 1
+
+
+def cache_path() -> Optional[str]:
+    """The configured cache file, or None when the feature is off."""
+    path = os.environ.get(ENV_VAR)
+    return path if path else None
+
+
+def _encode_structure(st: Structure) -> list:
+    return [[list(pair) for pair in st.nodes], st.out]
+
+
+def _decode_structure(raw) -> Structure:
+    nodes, out = raw
+    return Structure(
+        nodes=tuple((int(a), int(b)) for a, b in nodes), out=int(out)
+    )
+
+
+def load_cache(path: str, max_structs: int) -> Dict[int, Tuple[Structure, ...]]:
+    """Read and *verify* a cache file; returns {canon_tt: structures}.
+
+    Entries written under a different ``max_structs`` are skipped (a
+    shorter list would silently change engine results); malformed or
+    functionally wrong entries are dropped individually.
+    """
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except FileNotFoundError:
+        return {}
+    except (OSError, ValueError) as exc:
+        warnings.warn(
+            f"ignoring unreadable NST cache {path!r}: {exc}", RuntimeWarning
+        )
+        return {}
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != CACHE_VERSION
+        or payload.get("max_structs") != max_structs
+    ):
+        return {}
+    table: Dict[int, Tuple[Structure, ...]] = {}
+    for key, entries in payload.get("classes", {}).items():
+        try:
+            canon = int(key) & MASK4
+            structs = tuple(_decode_structure(raw) for raw in entries)
+            for st in structs:
+                st.validate()
+                if st.eval_tt() != canon:
+                    raise ValueError(
+                        f"structure evaluates to {st.eval_tt():#06x}, "
+                        f"filed under {canon:#06x}"
+                    )
+        except Exception as exc:
+            warnings.warn(
+                f"dropping bad NST cache entry {key!r}: {exc}", RuntimeWarning
+            )
+            continue
+        table[canon] = structs
+    return table
+
+
+def save_cache(
+    path: str, max_structs: int, table: Dict[int, Tuple[Structure, ...]]
+) -> None:
+    """Write the full table atomically (tmp file + rename)."""
+    payload = {
+        "version": CACHE_VERSION,
+        "max_structs": max_structs,
+        "classes": {
+            str(canon): [_encode_structure(st) for st in structs]
+            for canon, structs in sorted(table.items())
+        },
+    }
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+    except OSError as exc:
+        warnings.warn(f"could not write NST cache {path!r}: {exc}", RuntimeWarning)
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass

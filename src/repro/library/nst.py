@@ -11,11 +11,13 @@ mutation can leak between concurrently evaluating activities.
 
 from __future__ import annotations
 
+import atexit
 from functools import lru_cache
 from typing import Dict, Iterable, Tuple
 
 from ..npn.canon import npn_canon
 from ..npn.truth import MASK4
+from .cache import cache_path, load_cache, save_cache
 from .structures import Structure
 from .synthesis import candidates
 
@@ -23,11 +25,28 @@ DEFAULT_MAX_STRUCTS = 8
 
 
 class StructureLibrary:
-    """Lazy per-class structure store."""
+    """Lazy per-class structure store.
+
+    When ``REPRO_NST_CACHE`` names a file, previously synthesized
+    structures are loaded (and verified — see :mod:`repro.library.
+    cache`) at construction, and the table is flushed back at
+    interpreter exit if synthesis added anything new.  ``cache_hits``
+    counts classes answered from the persisted table; ``cache_misses``
+    counts fresh syntheses.
+    """
 
     def __init__(self, max_structs: int = DEFAULT_MAX_STRUCTS):
         self.max_structs = max_structs
         self._table: Dict[int, Tuple[Structure, ...]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._persisted: frozenset = frozenset()
+        self._cache_path = cache_path()
+        self._dirty = False
+        if self._cache_path is not None:
+            self._table.update(load_cache(self._cache_path, max_structs))
+            self._persisted = frozenset(self._table)
+            atexit.register(self.save_persistent)
 
     def structures(self, canon_tt: int) -> Tuple[Structure, ...]:
         """Candidate structures for a canonical representative,
@@ -35,9 +54,22 @@ class StructureLibrary:
         canon_tt &= MASK4
         hit = self._table.get(canon_tt)
         if hit is None:
+            self.cache_misses += 1
             hit = tuple(candidates(canon_tt, self.max_structs))
             self._table[canon_tt] = hit
+            self._dirty = True
+        elif canon_tt in self._persisted:
+            self.cache_hits += 1
         return hit
+
+    def save_persistent(self) -> None:
+        """Flush the table to the configured cache file (no-op when
+        the cache is off or nothing new was synthesized)."""
+        if self._cache_path is None or not self._dirty:
+            return
+        save_cache(self._cache_path, self.max_structs, self._table)
+        self._persisted = frozenset(self._table)
+        self._dirty = False
 
     def structures_for_function(self, tt: int) -> Tuple[Structure, ...]:
         """Convenience: canonicalize then look up."""

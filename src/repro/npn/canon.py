@@ -7,6 +7,20 @@ canonical representative of a class is the minimum 16-bit table over
 all of them.  All 65536 functions fall into exactly 222 classes
 (asserted in the tests, matching the paper's Section 3).
 
+Two implementations coexist:
+
+* :func:`npn_canon_exhaustive` — the per-call search over all 768
+  transforms (vectorized over the transforms, memoized per function).
+  Kept as the reference implementation and the benchmark baseline.
+* :func:`npn_canon` — a lazily-built, module-level 65 536-entry lookup
+  table: one ``uint16`` canonical representative plus one packed
+  witness (the transform's row index, 0..767) per function.  Building
+  the table costs one vectorized sweep (~the price of a few hundred
+  exhaustive calls); afterwards canonicalization is two array reads.
+  Both implementations break ties identically (first transform in row
+  order achieving the minimum), so they agree bit-for-bit on canonical
+  table *and* witness.
+
 The transform that witnesses the canonicalization is kept so library
 structures (expressed over canonical inputs) can be mapped back onto
 concrete cut leaves:
@@ -23,7 +37,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -71,6 +85,11 @@ _TRANSFORMS, _MATRICES, _OUT_FLAGS = _build_transforms()
 _POW2 = (np.uint32(1) << np.arange(16, dtype=np.uint32)).astype(np.uint32)
 _canon_cache: Dict[int, Tuple[int, NpnTransform]] = {}
 
+# The canon LUT: _LUT_CANON[f] = canonical table of f (uint32),
+# _LUT_ROW[f] = row index of the first transform achieving it (uint16).
+_LUT_CANON: Optional[np.ndarray] = None
+_LUT_ROW: Optional[np.ndarray] = None
+
 
 def apply_transform(tt: int, transform: NpnTransform) -> int:
     """Apply an NPN transform to a 16-bit truth table."""
@@ -86,10 +105,13 @@ def _apply_row(tt: int, row: int) -> int:
     return out ^ int(_OUT_FLAGS[row])
 
 
-def npn_canon(tt: int) -> Tuple[int, NpnTransform]:
-    """Canonical representative of ``tt`` and the witness transform.
+def npn_canon_exhaustive(tt: int) -> Tuple[int, NpnTransform]:
+    """Canonical representative of ``tt`` via the per-call 768-transform
+    search, with the witness transform.
 
     Memoized: real circuits reuse a small set of cut functions heavily.
+    This is the reference implementation; :func:`npn_canon` answers from
+    the precomputed LUT instead.
     """
     tt &= MASK4
     hit = _canon_cache.get(tt)
@@ -104,6 +126,60 @@ def npn_canon(tt: int) -> Tuple[int, NpnTransform]:
     return result
 
 
+def _build_canon_lut() -> Tuple[np.ndarray, np.ndarray]:
+    """One vectorized sweep over all 768 transforms x 65536 functions.
+
+    Updates on strict improvement only, so the stored witness is the
+    *first* row achieving the minimum — the same tie-break as
+    ``argmin`` in the exhaustive search.
+    """
+    funcs = np.arange(65536, dtype=np.uint32)
+    cols = [((funcs >> np.uint32(j)) & np.uint32(1)) for j in range(16)]
+    best = funcs.copy()  # row 0 is the identity transform
+    rows = np.zeros(65536, dtype=np.uint16)
+    acc = np.empty(65536, dtype=np.uint32)
+    for row in range(1, 768):
+        mat = _MATRICES[row]
+        acc[:] = cols[int(mat[0])]
+        for k in range(1, 16):
+            acc |= cols[int(mat[k])] << np.uint32(k)
+        acc ^= np.uint32(_OUT_FLAGS[row])
+        better = acc < best
+        best[better] = acc[better]
+        rows[better] = row
+    return best, rows
+
+
+def ensure_canon_lut() -> Tuple[np.ndarray, np.ndarray]:
+    """Build (once) and return the (canon, witness-row) LUT pair."""
+    global _LUT_CANON, _LUT_ROW
+    if _LUT_CANON is None:
+        _LUT_CANON, _LUT_ROW = _build_canon_lut()
+    return _LUT_CANON, _LUT_ROW
+
+
+def canon_lut_ready() -> bool:
+    """True when the LUT has already been built in this process."""
+    return _LUT_CANON is not None
+
+
+def npn_canon(tt: int) -> Tuple[int, NpnTransform]:
+    """Canonical representative of ``tt`` and the witness transform,
+    answered from the 65 536-entry LUT (built lazily on first use)."""
+    canon, rows = (_LUT_CANON, _LUT_ROW)
+    if canon is None:
+        canon, rows = ensure_canon_lut()
+    tt &= MASK4
+    return int(canon[tt]), _TRANSFORMS[int(rows[tt])]
+
+
+def npn_canon_batch(tts: np.ndarray) -> np.ndarray:
+    """Canonical representatives for an array of truth tables (LUT
+    gather; used by the batch evaluation kernels and the bench)."""
+    canon, _ = ensure_canon_lut()
+    return canon[np.asarray(tts, dtype=np.uint32) & np.uint32(MASK4)]
+
+
 def npn_class_of(tt: int) -> int:
     """Just the canonical table (no witness)."""
     return npn_canon(tt)[0]
@@ -115,13 +191,4 @@ def canon_all_functions() -> np.ndarray:
     Returns an array ``c`` with ``c[f] = canon(f)``; used to enumerate
     the 222 classes and to build class-population statistics.
     """
-    funcs = np.arange(65536, dtype=np.uint32)
-    best = funcs.copy()
-    for row in range(768):
-        mat = _MATRICES[row]
-        acc = np.zeros(65536, dtype=np.uint32)
-        for k in range(16):
-            acc |= ((funcs >> np.uint32(mat[k])) & np.uint32(1)) << np.uint32(k)
-        acc ^= np.uint32(_OUT_FLAGS[row])
-        np.minimum(best, acc, out=best)
-    return best
+    return ensure_canon_lut()[0].copy()

@@ -106,6 +106,38 @@ def _expand_map(pos: Tuple[int, ...], nd: int) -> Tuple[int, ...]:
     return tuple(out)
 
 
+def expand_map16(pos: Tuple[int, ...]) -> Tuple[int, ...]:
+    """The 16-minterm source-index map for a position pattern.
+
+    Same map as :func:`_expand_map` with ``nd=4``: entry ``k`` is the
+    source minterm feeding destination minterm ``k``.  For a
+    destination space of ``nd < 4`` variables the entries ``k >= 2**nd``
+    are replication padding — masking the result with ``full_mask(nd)``
+    recovers exactly ``expand``'s answer, which is what lets one fixed
+    16-wide kernel serve every cut width (see :func:`batch_expand`).
+    """
+    return _expand_map(pos, 4)
+
+
+def batch_expand(tts, mappings):
+    """Vectorized :func:`expand` over many (table, mapping) pairs.
+
+    ``tts`` is an integer array of N source tables and ``mappings`` an
+    ``(N, 16)`` array of source minterm indices (rows from
+    :func:`expand_map16`).  Returns the N expanded 16-bit tables; for a
+    destination width ``nd < 4`` the caller masks with
+    ``full_mask(nd)``.  This is the batch kernel under the cut
+    manager's merge loop and the snapshot evaluation path.
+    """
+    import numpy as np
+
+    tts = np.asarray(tts, dtype=np.uint32)
+    mappings = np.asarray(mappings, dtype=np.uint8)
+    bits = (tts[:, None] >> mappings) & np.uint32(1)
+    pow2 = np.uint32(1) << np.arange(16, dtype=np.uint32)
+    return (bits * pow2).sum(axis=1, dtype=np.uint32)
+
+
 def shrink_to_support(tt: int, n: int) -> Tuple[int, Tuple[int, ...]]:
     """Drop unsupported variables; returns (table, kept variable indices)."""
     sup = support(tt, n)

@@ -25,7 +25,8 @@ def stage_breakdown(stats: ExecutionStats) -> Tuple[List[str], List[List[str]]]:
             order.append(stage.name)
             agg[stage.name] = {
                 "runs": 0, "activities": 0, "committed": 0, "conflicts": 0,
-                "useful": 0, "aborted": 0, "span": 0,
+                "useful": 0, "aborted": 0, "span": 0, "retries": 0,
+                "wall": 0.0,
             }
         acc = agg[stage.name]
         acc["runs"] += 1
@@ -35,9 +36,12 @@ def stage_breakdown(stats: ExecutionStats) -> Tuple[List[str], List[List[str]]]:
         acc["useful"] += stage.useful_units
         acc["aborted"] += stage.aborted_units
         acc["span"] += stage.makespan
+        acc["retries"] += stage.retries
+        acc["wall"] += stage.wall_seconds
     total_span = sum(acc["span"] for acc in agg.values()) or 1
     headers = ["Stage", "Runs", "Activities", "Committed", "Conflicts",
-               "ConflictRate", "UsefulUnits", "AbortedUnits", "SpanShare"]
+               "ConflictRate", "UsefulUnits", "AbortedUnits", "SpanShare",
+               "WallSeconds"]
     rows = []
     for name in order:
         acc = agg[name]
@@ -47,6 +51,7 @@ def stage_breakdown(stats: ExecutionStats) -> Tuple[List[str], List[List[str]]]:
             name, acc["runs"], acc["activities"], acc["committed"],
             acc["conflicts"], f"{rate:.3f}", acc["useful"], acc["aborted"],
             f"{100.0 * acc['span'] / total_span:.1f}%",
+            f"{acc['wall']:.3f}",
         ])
     return headers, rows
 

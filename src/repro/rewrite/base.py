@@ -240,12 +240,33 @@ def find_best_candidate(
     observer=None,
 ) -> Optional[Candidate]:
     """The DAG-aware rewriting inner loop for a single node."""
+    return best_candidate_over_cuts(
+        aig, root, cutman.fresh_cuts(root), library, config, meter, observer
+    )
+
+
+def best_candidate_over_cuts(
+    aig: Aig,
+    root: int,
+    cuts,
+    library: StructureLibrary,
+    config: RewriteConfig,
+    meter: Optional[WorkMeter] = None,
+    observer=None,
+) -> Optional[Candidate]:
+    """Best replacement for ``root`` over an explicit cut list.
+
+    The cut list is whatever the enumeration stage produced; ``aig``
+    only needs the read-only surface (fanins, refs, levels, strash
+    probes), so this also runs against an :class:`~repro.aig.snapshot.
+    AigSnapshot` inside process-pool eval workers.
+    """
     allowed = config.allowed_classes
     observing = observer is not None and observer.enabled
     num_cuts = 0
     best: Optional[Candidate] = None
     best_key = None
-    for cut in cutman.fresh_cuts(root):
+    for cut in cuts:
         num_cuts += 1
         if cut.size < 2:
             continue

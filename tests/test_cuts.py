@@ -230,3 +230,48 @@ class TestCutCache:
         mgr.cuts(lit_var(top))
         dropped = mgr.invalidate_tfo(lit_var(f))
         assert dropped >= 2  # f and top at least
+
+
+class TestExpandMemo:
+    def _cut_sets(self, mgr, aig):
+        return {
+            v: [(c.leaves, c.tt) for c in mgr.cuts(v)] for v in aig.topo_ands()
+        }
+
+    def test_counters_track_memo_traffic(self):
+        aig = random_aig(num_pis=6, num_nodes=200, num_pos=4, seed=21)
+        mgr = CutManager(aig)
+        for v in aig.topo_ands():
+            mgr.cuts(v)
+        assert mgr.cache_misses > 0
+        hits_before = mgr.cache_hits
+        misses_before = mgr.cache_misses
+        # Re-merging the same graph re-reads the same expansions.
+        mgr._cache.clear()
+        for v in aig.topo_ands():
+            mgr.cuts(v)
+        assert mgr.cache_hits > hits_before
+        assert mgr.cache_misses == misses_before
+
+    def test_clear_drops_expand_memo(self):
+        aig = random_aig(num_pis=5, num_nodes=60, num_pos=3, seed=22)
+        mgr = CutManager(aig)
+        for v in aig.topo_ands():
+            mgr.cuts(v)
+        mgr.clear()
+        assert not mgr._expand_cache
+
+    def test_batch_and_scalar_paths_identical(self, monkeypatch):
+        from repro.cuts import manager as manager_mod
+
+        aig = random_aig(num_pis=6, num_nodes=200, num_pos=4, seed=23)
+
+        monkeypatch.setattr(manager_mod, "BATCH_MERGE_THRESHOLD", 0)
+        always_batch = CutManager(aig)
+        batch_sets = self._cut_sets(always_batch, aig)
+
+        monkeypatch.setattr(manager_mod, "BATCH_MERGE_THRESHOLD", 10**9)
+        never_batch = CutManager(aig)
+        scalar_sets = self._cut_sets(never_batch, aig)
+
+        assert batch_sets == scalar_sets

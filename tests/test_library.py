@@ -183,3 +183,85 @@ class TestLibrary:
         lib = get_library()
         for rep in list(all_classes())[:40]:
             assert len(lib.structures(rep)) <= lib.max_structs
+
+
+class TestPersistentNstCache:
+    def _make_library(self, monkeypatch, path):
+        from repro.library.nst import StructureLibrary
+
+        monkeypatch.setenv("REPRO_NST_CACHE", str(path))
+        return StructureLibrary()
+
+    def test_round_trip(self, tmp_path, monkeypatch):
+        path = tmp_path / "nst.json"
+        reps = [0x0001, 0x0007, 0x1234]
+        canons = [npn_canon(r)[0] for r in reps]
+
+        first = self._make_library(monkeypatch, path)
+        expected = {c: first.structures(c) for c in canons}
+        assert first.cache_misses == len(set(canons))
+        assert first.cache_hits == 0
+        first.save_persistent()
+        assert path.exists()
+
+        second = self._make_library(monkeypatch, path)
+        for c in canons:
+            assert second.structures(c) == expected[c]
+        assert second.cache_misses == 0
+        assert second.cache_hits == len(canons)
+
+    def test_corrupt_entry_resynthesized(self, tmp_path, monkeypatch):
+        import json
+        import warnings as warnings_mod
+
+        path = tmp_path / "nst.json"
+        first = self._make_library(monkeypatch, path)
+        canon, _ = npn_canon(0x0007)
+        good = first.structures(canon)
+        first.save_persistent()
+
+        payload = json.loads(path.read_text())
+        # Flip the output literal of the first cached structure: it no
+        # longer evaluates to its class and must be rejected on load.
+        payload["classes"][str(canon)][0][1] ^= 1
+        path.write_text(json.dumps(payload))
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("ignore")
+            second = self._make_library(monkeypatch, path)
+        assert second.structures(canon) == good  # resynthesized, not trusted
+        assert second.cache_misses >= 1
+
+    def test_unreadable_file_degrades_to_empty(self, tmp_path, monkeypatch):
+        import warnings as warnings_mod
+
+        path = tmp_path / "nst.json"
+        path.write_text("{ not json")
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("ignore")
+            lib = self._make_library(monkeypatch, path)
+        canon, _ = npn_canon(0x0001)
+        assert lib.structures(canon)
+        assert lib.cache_hits == 0
+
+    def test_disabled_without_env(self, monkeypatch):
+        from repro.library.nst import StructureLibrary
+
+        monkeypatch.delenv("REPRO_NST_CACHE", raising=False)
+        lib = StructureLibrary()
+        assert lib._cache_path is None
+        lib.save_persistent()  # no-op, must not raise
+
+    def test_max_structs_mismatch_ignored(self, tmp_path, monkeypatch):
+        from repro.library.nst import StructureLibrary
+
+        path = tmp_path / "nst.json"
+        monkeypatch.setenv("REPRO_NST_CACHE", str(path))
+        small = StructureLibrary(max_structs=2)
+        canon, _ = npn_canon(0x0007)
+        small.structures(canon)
+        small.save_persistent()
+
+        big = StructureLibrary(max_structs=8)
+        assert big.cache_hits == 0  # entries for max_structs=2 not loaded
+        assert len(big.structures(canon)) >= len(small.structures(canon))

@@ -175,3 +175,35 @@ class TestNpnCanon:
         la = tr.leaf_assignment()
         assert len(la) == 4
         assert sorted(pos for pos, _ in la) == [0, 1, 2, 3]
+
+
+class TestBatchKernels:
+    @given(st.integers(min_value=0, max_value=MASK4))
+    @settings(max_examples=200, deadline=None)
+    def test_batch_expand_matches_scalar_expand(self, tt):
+        from repro.npn import batch_expand, expand_map16
+
+        rng = random.Random(tt)
+        nd = rng.randint(2, 4)
+        dst = tuple(range(nd))
+        src = tuple(sorted(rng.sample(dst, rng.randint(1, nd))))
+        small = tt & full_mask(len(src))
+        expected = expand(small, src, dst) & full_mask(nd)
+        pos = tuple(dst.index(s) for s in src)
+        got = int(batch_expand([small], [expand_map16(pos)])[0]) & full_mask(nd)
+        assert got == expected
+
+    def test_expand_map16_identity(self):
+        from repro.npn import batch_expand, expand_map16
+
+        identity = expand_map16((0, 1, 2, 3))
+        tts = list(range(0, 65536, 251))
+        out = batch_expand(tts, [identity] * len(tts))
+        assert [int(x) for x in out] == tts
+
+    def test_lut_and_exhaustive_share_the_canon_map(self):
+        from repro.npn import canon_all_functions, npn_canon_exhaustive
+
+        canon = canon_all_functions()
+        for tt in range(0, 65536, 997):
+            assert int(canon[tt]) == npn_canon_exhaustive(tt)[0]

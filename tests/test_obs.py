@@ -221,8 +221,11 @@ class TestProfileBreakdowns:
         obs, engine, _ = _traced_run()
         h1, rows1 = stage_breakdown(engine.last_stats)
         h2, rows2 = stage_breakdown_from_tracer(obs.tracer)
-        assert h1 == h2
-        assert rows1 == rows2
+        # The stats version carries one extra column — wall-clock, which
+        # only the executor knows (the trace clock is simulated units).
+        assert h1[-1] == "WallSeconds"
+        assert h1[:-1] == h2
+        assert [r[:-1] for r in rows1] == rows2
 
     def test_level_breakdown_rows(self):
         obs, _, _ = _traced_run(workers=4)
