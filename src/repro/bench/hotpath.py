@@ -12,6 +12,12 @@ Three timings, written to ``BENCH_hotpath.json`` (``repro bench`` or
   counters.
 * **eval-stage** — end-to-end evaluation-stage throughput, simulated
   executor versus the process-pool executor (same circuit, same cuts).
+* **snapshot-delta** — per-stage bytes a parent would ship to pool
+  workers across a sequence of mutate-then-fan-out rounds: full
+  recapture every stage versus the incremental
+  :class:`~repro.aig.snapshot.SnapshotDelta` path (with the production
+  recapture-when-delta-too-large policy).  Every delta is verified
+  against a fresh capture before it is counted.
 
 Numbers are wall-clock on the current machine and honestly include
 any serialization overheads; on a single-core container the process
@@ -144,6 +150,77 @@ def _bench_eval_stage(quick: bool, jobs: Optional[int]) -> Dict[str, object]:
     }
 
 
+def _bench_snapshot_delta(quick: bool) -> Dict[str, object]:
+    import pickle
+    import random
+
+    import numpy as np
+
+    from ..aig.literals import lit_var
+    from ..aig.snapshot import AigSnapshot
+
+    num_nodes = 2500 if quick else 10000
+    stages = 6
+    mutations_per_stage = max(4, num_nodes // 1000)
+    aig = mtm_like(num_pis=32, num_nodes=num_nodes, seed=5)
+    config = dacpara_config()
+    rng = random.Random(7)
+
+    def full_bytes() -> int:
+        return len(pickle.dumps(AigSnapshot.capture(aig),
+                                protocol=pickle.HIGHEST_PROTOCOL))
+
+    def verify_delta(base: AigSnapshot) -> None:
+        delta = base.delta_since(aig)
+        patched = base.apply_delta(delta)
+        fresh = AigSnapshot.capture(aig)
+        for f in ("_kind", "_fanin0", "_fanin1", "_nref",
+                  "_level", "_stamp", "_life"):
+            assert np.array_equal(getattr(patched, f), getattr(fresh, f)), f
+        assert patched.pos == fresh.pos and patched.pis == fresh.pis
+
+    # Stage 0: both flows pay a full capture; steady-state rows follow.
+    base = AigSnapshot.capture(aig)
+    aig.trim_mutation_log(base.epoch)
+    full_per_stage = []
+    delta_per_stage = []
+    recaptures = 0
+    for _ in range(stages):
+        ands = [v for v in aig.ands()]
+        for v in rng.sample(ands, min(mutations_per_stage, len(ands))):
+            if aig.is_and(v):  # an earlier replace may have killed it
+                aig.replace(v, aig.fanin0(v))
+        full_per_stage.append(full_bytes())
+        # The production shipper policy: delta while it is small enough,
+        # full recapture (and rebase) once it is not.
+        dirty = aig.dirty_since(base.epoch)
+        if dirty is None or len(dirty) > config.delta_max_fraction * aig.size:
+            recaptures += 1
+            base = AigSnapshot.capture(aig)
+            aig.trim_mutation_log(base.epoch)
+            delta_per_stage.append(full_per_stage[-1])
+            continue
+        verify_delta(base)
+        delta = base.delta_since(aig)
+        delta_per_stage.append(
+            len(pickle.dumps(delta, protocol=pickle.HIGHEST_PROTOCOL))
+        )
+
+    full_mean = sum(full_per_stage) / len(full_per_stage)
+    delta_mean = sum(delta_per_stage) / len(delta_per_stage)
+    return {
+        "circuit": aig.name,
+        "nodes": num_nodes,
+        "stages": stages,
+        "mutations_per_stage": mutations_per_stage,
+        "recaptures": recaptures,
+        "full_bytes_per_stage": round(full_mean, 1),
+        "delta_bytes_per_stage": round(delta_mean, 1),
+        "reduction": round(full_mean / delta_mean, 2) if delta_mean else None,
+        "verified": True,
+    }
+
+
 def run_hotpath_bench(quick: bool = False, jobs: Optional[int] = None) -> Dict[str, object]:
     """Run all three micro-benchmarks; returns the report dict."""
     return {
@@ -157,6 +234,7 @@ def run_hotpath_bench(quick: bool = False, jobs: Optional[int] = None) -> Dict[s
         "npn_canon": _bench_npn_canon(quick),
         "cut_enumeration": _bench_cut_enumeration(quick),
         "eval_stage": _bench_eval_stage(quick, jobs),
+        "snapshot_delta": _bench_snapshot_delta(quick),
     }
 
 

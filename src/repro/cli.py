@@ -19,6 +19,7 @@ work units, so a re-run with the same inputs is byte-identical.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import time
@@ -104,6 +105,21 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
             print(f"engine {args.engine!r} does not take --jobs", file=sys.stderr)
             return 1
         engine.jobs = args.jobs
+    config_updates = {}
+    if args.no_shm:
+        config_updates["shared_memory"] = False
+    if args.no_enum_fanout:
+        config_updates["enum_fanout"] = False
+    if args.delta_max_fraction is not None:
+        config_updates["delta_max_fraction"] = args.delta_max_fraction
+    if config_updates:
+        if not hasattr(engine, "config"):
+            print(
+                f"engine {args.engine!r} does not take snapshot options",
+                file=sys.stderr,
+            )
+            return 1
+        engine.config = dataclasses.replace(engine.config, **config_updates)
     start = time.perf_counter()
     result = engine.run(aig)
     wall = time.perf_counter() - start
@@ -229,6 +245,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="OS worker processes for --executor process "
              "(default: core count)",
     )
+    p_rw.add_argument(
+        "--no-shm", action="store_true",
+        help="ship base snapshots by pickle instead of "
+             "multiprocessing.shared_memory (--executor process)",
+    )
+    p_rw.add_argument(
+        "--no-enum-fanout", action="store_true",
+        help="keep cut enumeration in-parent; only evaluation fans out "
+             "(--executor process)",
+    )
+    p_rw.add_argument(
+        "--delta-max-fraction", type=float, default=None, metavar="F",
+        help="recapture the snapshot in full once more than F of the "
+             "node slots changed since the base (default 0.25)",
+    )
     p_rw.add_argument("--verify", action="store_true")
     p_rw.add_argument(
         "--trace", metavar="PATH",
@@ -322,11 +353,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"process {ev['process_nodes_per_second']:.0f} nodes/s "
         f"(jobs={ev['jobs']})"
     )
+    snap = report["snapshot_delta"]
+    print(
+        f"snapshot-delta: {snap['full_bytes_per_stage']:.0f} B/stage full vs "
+        f"{snap['delta_bytes_per_stage']:.0f} B/stage delta "
+        f"(reduction {snap['reduction']:.1f}x, "
+        f"{snap['recaptures']}/{snap['stages']} recaptures)"
+    )
     print(f"written: {args.output}")
     if args.check and npn["speedup"] <= 1.0:
         print(
             f"CHECK FAILED: NPN LUT not faster than scalar "
             f"(speedup {npn['speedup']:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check and (snap["reduction"] is None or snap["reduction"] < 5.0):
+        print(
+            f"CHECK FAILED: snapshot deltas not >=5x smaller than full "
+            f"recapture (reduction {snap['reduction']}x)",
             file=sys.stderr,
         )
         return 1

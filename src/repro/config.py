@@ -37,6 +37,19 @@ class RewriteConfig:
     # OS worker processes for the process executor; None = core count.
     # Independent of ``workers`` (the logical parallelism model).
     jobs: Optional[int] = None
+    # Process-executor snapshot hand-off: ship per-stage deltas against
+    # a cached base snapshot, recapturing in full once more than this
+    # fraction of node slots changed since the base (0.0 = always
+    # recapture, 1.0 = never).
+    delta_max_fraction: float = 0.25
+    # Publish the base snapshot via multiprocessing.shared_memory so
+    # workers attach by name instead of unpickling it; falls back to
+    # pickle transparently where shared memory is unavailable.
+    shared_memory: bool = True
+    # Fan the cut-enumeration stage out through the process pool too
+    # (evaluation always fans out); results are replayed through the
+    # simulated scheduler either way, so this only affects wall-clock.
+    enum_fanout: bool = True
 
     def __post_init__(self) -> None:
         if self.cut_size != 4:
@@ -53,6 +66,8 @@ class RewriteConfig:
             raise ConfigError(f"unknown executor {self.executor!r}")
         if self.jobs is not None and self.jobs < 1:
             raise ConfigError("jobs must be >= 1 or None")
+        if not 0.0 <= self.delta_max_fraction <= 1.0:
+            raise ConfigError("delta_max_fraction must be within [0, 1]")
         class_set(self.npn_classes)  # validates the name
 
     @property

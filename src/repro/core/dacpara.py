@@ -76,6 +76,13 @@ class DACParaRewriter:
             getattr(executor, "supports_native_eval", False)
             and self.library is get_library()
         )
+        # Native fan-out enumeration needs no library, only the config
+        # knob; results replay through the simulated scheduler either
+        # way, so this only moves merge work onto worker cores.
+        native_enum = (
+            getattr(executor, "supports_native_enum", False)
+            and config.enum_fanout
+        )
         result = RewriteResult(
             engine=self.name,
             workers=config.workers,
@@ -126,7 +133,10 @@ class DACParaRewriter:
                             size=len(live),
                         )
                         obs.observe("worklist_occupancy", len(live))
-                    executor.run("enum", live, enum_op)
+                    if native_enum:
+                        executor.run_enum("enum", live, ctx)
+                    else:
+                        executor.run("enum", live, enum_op)
                     if native_eval:
                         executor.run_eval("eval", live, ctx)
                     else:

@@ -132,19 +132,110 @@ class CutManager:
 
     # ------------------------------------------------------------------
 
+    def has_fresh_live_cuts(self, var: int) -> bool:
+        """True when ``var``'s cache entry is stamp-fresh and every
+        cached cut is alive — the state in which :meth:`fresh_cuts`
+        answers from cache without any merge work."""
+        aig = self.aig
+        entry = self._cache.get(var)
+        return (
+            entry is not None
+            and entry[0] == aig.stamp(var)
+            and all(cut_is_stamp_alive(aig, c) for c in entry[1])
+        )
+
+    def enum_harvest(
+        self, root: int
+    ) -> Optional[Tuple[int, int, List[Cut], List[Cut]]]:
+        """Inputs for a worker-side merge of ``root``, or None.
+
+        A root can fan out to a process worker only when its merge is a
+        *pure function of shippable state*: it is an AND node whose own
+        entry needs (re)computing and whose fanin cut sets are
+        resolvable without recursion **and stable for the whole
+        stage** — a stamp-fresh entry with every cut alive (such
+        entries are never recomputed mid-stage, by either ``cuts()``
+        recursion or a worker-result install), or a non-AND fanin
+        (whose cut set is always the trivial cut).  A merely
+        stamp-fresh fanin entry with dead cuts is *not* eligible: that
+        fanin may itself be a worklist root whose own enumeration
+        re-merges it before this root executes, so its harvest-time cut
+        set could go stale.  Roots with a fresh live entry answer from
+        cache in-parent for one unit, and roots needing recursive
+        enumeration stay in-parent too; both return None.
+        """
+        aig = self.aig
+        if not aig.is_and(root):
+            return None
+        if self.has_fresh_live_cuts(root):
+            return None
+        f0, f1 = aig.fanin0(root), aig.fanin1(root)
+        sets: List[List[Cut]] = []
+        for fl in (f0, f1):
+            fv = lit_var(fl)
+            if aig.is_and(fv):
+                if not self.has_fresh_live_cuts(fv):
+                    return None
+                sets.append(self._live_cuts(fv))
+            else:
+                fentry = self._cache.get(fv)
+                if fentry is not None and fentry[0] == aig.stamp(fv):
+                    sets.append(self._live_cuts(fv))
+                else:
+                    sets.append([trivial_cut(aig, fv)])
+        return (f0, f1, sets[0], sets[1])
+
+    def install_cuts(self, root: int, cuts: List[Cut], work: int = 0) -> None:
+        """Install a worker-computed cut set for AND node ``root``.
+
+        Mirrors exactly what :meth:`cuts` would have cached for an
+        :meth:`enum_harvest`-eligible root: trivial entries for any
+        uncached non-AND fanins, then the root entry keyed to its
+        current stamp.  ``work`` (the worker's merge-pair count) is
+        charged to :attr:`work` so the cost model stays byte-identical
+        with an in-parent merge.
+        """
+        aig = self.aig
+        for fl in (aig.fanin0(root), aig.fanin1(root)):
+            fv = lit_var(fl)
+            if not aig.is_and(fv):
+                fentry = self._cache.get(fv)
+                if fentry is None or fentry[0] != aig.stamp(fv):
+                    self._cache[fv] = (aig.stamp(fv), [trivial_cut(aig, fv)])
+        self._cache[root] = (aig.stamp(root), list(cuts))
+        self.work += work
+
     def _merge_node(self, v: int) -> List[Cut]:
-        """Merge the fanin cut sets of AND node ``v``.
+        aig = self.aig
+        f0, f1 = aig.fanin0(v), aig.fanin1(v)
+        return self.merge_fanin_sets(
+            v, f0, f1,
+            self._live_cuts(lit_var(f0)),
+            self._live_cuts(lit_var(f1)),
+        )
+
+    def merge_fanin_sets(
+        self,
+        v: int,
+        f0: int,
+        f1: int,
+        c0_all: List[Cut],
+        c1_all: List[Cut],
+    ) -> List[Cut]:
+        """Merge explicit fanin cut sets of AND node ``v``.
 
         Two-phase: first collect the k-feasible pairs, then expand the
         pair tables — through the memo for small pair sets, through the
         vectorized :func:`batch_expand` kernel for large ones.  Both
         paths produce bit-identical tables, so the choice never affects
         results (property-tested).
+
+        Taking the fanin sets as arguments (rather than reading the
+        cache) is what lets a process worker run the identical merge
+        against an :class:`~repro.aig.snapshot.AigSnapshot` with cut
+        sets harvested in the parent (:meth:`enum_harvest`).
         """
         aig = self.aig
-        f0, f1 = aig.fanin0(v), aig.fanin1(v)
-        c0_all = self._live_cuts(lit_var(f0))
-        c1_all = self._live_cuts(lit_var(f1))
         comp0, comp1 = lit_compl(f0), lit_compl(f1)
         k = self.k
         pairs: List[Tuple[Cut, Cut, Tuple[int, ...]]] = []

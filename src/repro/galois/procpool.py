@@ -1,44 +1,57 @@
-"""Process-pool executor: true multi-core wall-clock for the eval stage.
+"""Process-pool executor: true multi-core wall-clock for the read stages.
 
 The paper's argument (Section 4.3) is that evaluation — >90 % of
 rewrite runtime — is embarrassingly parallel: it only *reads* the
-shared graph and writes disjoint ``prepInfo`` slots.  The GIL keeps the
+shared graph and writes disjoint ``prepInfo`` slots.  Cut enumeration
+is read-only over the stage-start graph too.  The GIL keeps the
 threaded executor from cashing that in; this executor does it with
 ``concurrent.futures.ProcessPoolExecutor``:
 
-1. the parent captures the worklist's shared read state **once** into a
-   compact :class:`~repro.aig.snapshot.AigSnapshot` (flat numpy arrays,
-   cheap to pickle) and harvests each root's enumerated cut set from
-   the cut manager — workers never re-enumerate, so they see exactly
-   the cuts the enumeration stage produced;
-2. node chunks fan out to a persistent worker pool (one pre-pickled
-   snapshot blob shared by every chunk of a stage);
-3. returned candidates are merged into ``prepInfo`` on the parent by
+1. the parent ships the worklist's shared read state as a
+   :class:`~repro.aig.snapshot.AigSnapshot` — a full capture only when
+   it must (first stage of a run, or after heavy mutation), otherwise
+   an incremental :class:`~repro.aig.snapshot.SnapshotDelta` against a
+   base snapshot the workers cache per run (optionally published once
+   through ``multiprocessing.shared_memory`` so even the base costs
+   only a handle over the pipe);
+2. node chunks fan out to a persistent worker pool — evaluation tasks
+   carry each root's enumerated cut set, enumeration tasks carry the
+   fanin cut sets harvested from the cut manager;
+3. returned candidates / cut sets are merged on the parent by
    **replaying** them through the inherited simulated scheduler with
    the workers' reported per-node costs.
 
 Step 3 is what makes ``executor_kind="process"`` produce *byte-
 identical* results, stats and traces to ``"simulated"``: evaluation
-costs are data-driven (structures evaluated per cut), independent of
-where the computation physically ran, so the replay reconstructs the
-exact simulated timeline while the heavy lifting happened on real
-cores.  Enumeration and replacement run on the inherited simulated
-path — graph mutation semantics are untouched.
+and enumeration costs are data-driven (structures evaluated per cut,
+merge pairs per node), independent of where the computation physically
+ran, so the replay reconstructs the exact simulated timeline while the
+heavy lifting happened on real cores.  Replacement runs on the
+inherited simulated path — graph mutation semantics are untouched.
 
 When the platform cannot spawn processes (restricted sandboxes), the
 executor falls back to computing chunks in-parent — same results, no
-parallelism — and says so once via ``warnings``.
+parallelism — and says so via ``warnings`` once *per run* (each
+executor instance carries a run id, so two runs in one interpreter
+each report their own fallback).
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 import pickle
 import time
 import warnings
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..aig.snapshot import AigSnapshot
+from ..aig.snapshot import (
+    AigSnapshot,
+    SharedSnapshotBase,
+    shared_memory_available,
+    attach_shared,
+)
 from ..obs.observer import Observer
 from .activity import Phase
 from .simsched import SimulatedExecutor
@@ -48,14 +61,26 @@ from .stats import StageStats
 #: pickle plus IPC round-trip costs more than the evaluation itself.
 MIN_FANOUT = 16
 
+#: Base snapshots a worker process keeps cached (one per concurrent
+#: run id); old runs are evicted LRU and their shm segments detached.
+_WORKER_CACHE_LIMIT = 4
+
+_RUN_COUNTER = itertools.count(1)
+
 
 def default_jobs() -> int:
     """Worker process count: one per core."""
     return max(1, os.cpu_count() or 1)
 
 
+class SnapshotCacheMiss(Exception):
+    """A worker was handed an ``assume-cached`` snapshot ref it does
+    not hold (fresh worker, evicted entry).  The parent catches this
+    per-chunk and resubmits with a full payload."""
+
+
 class _MetricCollector(Observer):
-    """Order-insensitive metric sink used inside eval workers.
+    """Order-insensitive metric sink used inside pool workers.
 
     Counters and histogram observations recorded against the snapshot
     are replayed into the parent's observer after the fan-in, so a
@@ -88,6 +113,61 @@ class _MetricCollector(Observer):
         self.observations.extend(other.observations)
 
 
+# ---------------------------------------------------------------------------
+# Worker-side snapshot cache
+# ---------------------------------------------------------------------------
+
+#: run id -> cached *base* snapshot (epoch = the ref's base_epoch).
+_WORKER_BASES: "OrderedDict[str, AigSnapshot]" = OrderedDict()
+#: run id -> (stage epoch, patched snapshot) — memoizes the delta
+#: application across the chunks of one stage landing on one worker.
+_WORKER_STAGES: Dict[str, Tuple[int, AigSnapshot]] = {}
+
+
+def _store_worker_base(run_id: str, snapshot: AigSnapshot) -> None:
+    old = _WORKER_BASES.pop(run_id, None)
+    if old is not None:
+        old.release()
+    _WORKER_BASES[run_id] = snapshot
+    _WORKER_STAGES.pop(run_id, None)
+    while len(_WORKER_BASES) > _WORKER_CACHE_LIMIT:
+        evicted_id, evicted = _WORKER_BASES.popitem(last=False)
+        evicted.release()
+        _WORKER_STAGES.pop(evicted_id, None)
+
+
+def _resolve_snapshot(ref, collector: _MetricCollector) -> AigSnapshot:
+    """Materialize the snapshot a stage ref describes, using (and
+    filling) this worker's per-run base cache."""
+    run_id, base_epoch, epoch, base_kind, base_payload, delta_blob = ref
+    base = _WORKER_BASES.get(run_id)
+    if base is not None and base.epoch == base_epoch:
+        _WORKER_BASES.move_to_end(run_id)
+        collector.count("worker_snapshot_cache_hits_total")
+    else:
+        if base_kind == "pickle":
+            base = pickle.loads(base_payload)
+        elif base_kind == "shm":
+            base = attach_shared(base_payload)
+        else:  # "cached": the parent assumed we hold it — we do not
+            raise SnapshotCacheMiss(run_id, base_epoch)
+        collector.count("worker_snapshot_cache_misses_total")
+        _store_worker_base(run_id, base)
+    if delta_blob is None:
+        return base
+    staged = _WORKER_STAGES.get(run_id)
+    if staged is not None and staged[0] == epoch:
+        return staged[1]
+    snapshot = base.apply_delta(pickle.loads(delta_blob))
+    _WORKER_STAGES[run_id] = (epoch, snapshot)
+    return snapshot
+
+
+# ---------------------------------------------------------------------------
+# Worker entry points
+# ---------------------------------------------------------------------------
+
+
 def _eval_tasks(aig_like, tasks, config, collector) -> List[Tuple[int, object, int]]:
     """Evaluate each (root, cuts) task against a read-only AIG view.
 
@@ -114,11 +194,40 @@ def _eval_tasks(aig_like, tasks, config, collector) -> List[Tuple[int, object, i
     return out
 
 
-def _eval_chunk(blob: bytes, tasks, config):
-    """Worker entry point: unpickle the snapshot, evaluate one chunk."""
-    snapshot = pickle.loads(blob)
+def _eval_chunk(ref, tasks, config):
+    """Worker entry point: resolve the snapshot, evaluate one chunk."""
     collector = _MetricCollector()
+    snapshot = _resolve_snapshot(ref, collector)
     return _eval_tasks(snapshot, tasks, config, collector), collector
+
+
+def _enum_chunk(ref, tasks, config):
+    """Worker entry point for enumeration: merge harvested fanin cut
+    sets against the snapshot.
+
+    Each task is ``(root, f0, f1, c0_all, c1_all)`` as produced by
+    :meth:`~repro.cuts.manager.CutManager.enum_harvest`; the merge is
+    the byte-identical :meth:`merge_fanin_sets` the parent would run,
+    so the returned ``(root, cuts, pairs)`` triples replay exactly.
+    Truth-table expansion memo hits are reported under worker-specific
+    counter names — the memo is per-chunk here but global in a
+    simulated run, so the raw counts legitimately differ.
+    """
+    from ..cuts.manager import CutManager
+
+    collector = _MetricCollector()
+    snapshot = _resolve_snapshot(ref, collector)
+    cutman = CutManager(snapshot, k=config.cut_size, max_cuts=config.max_cuts)
+    out = []
+    for root, f0, f1, c0_all, c1_all in tasks:
+        before = cutman.work
+        cuts = cutman.merge_fanin_sets(root, f0, f1, c0_all, c1_all)
+        out.append((root, cuts, cutman.work - before))
+    if cutman.cache_hits:
+        collector.count("worker_cut_tt_cache_hits_total", cutman.cache_hits)
+    if cutman.cache_misses:
+        collector.count("worker_cut_tt_cache_misses_total", cutman.cache_misses)
+    return out, collector
 
 
 def _warm_shared_state(config) -> None:
@@ -134,17 +243,161 @@ def _warm_shared_state(config) -> None:
     config.allowed_classes  # forces the class-set (and canon) tables
 
 
+# ---------------------------------------------------------------------------
+# Parent-side snapshot shipping
+# ---------------------------------------------------------------------------
+
+
+class _SnapshotShipper:
+    """Decides, per stage, how the graph state reaches the workers.
+
+    Keeps the current *base* snapshot (plus its optional shared-memory
+    publication and lazily-built full pickle) and emits one of three
+    ref kinds:
+
+    * ``full``   — rebase: fresh capture, shipped whole (pickle blob or
+      shm handle); chosen on the first stage and whenever the delta
+      would exceed ``config.delta_max_fraction`` of the node slots (or
+      the graph's journal no longer reaches the base epoch);
+    * ``delta``  — the common case: a pickled
+      :class:`~repro.aig.snapshot.SnapshotDelta` plus a tiny base ref;
+    * ``cached`` — nothing changed since the base: base ref only.
+
+    A ref is a picklable tuple
+    ``(run_id, base_epoch, stage_epoch, base_kind, base_payload,
+    delta_blob)`` resolved worker-side by :func:`_resolve_snapshot`.
+    """
+
+    def __init__(self, run_id: str):
+        self.run_id = run_id
+        self.base: Optional[AigSnapshot] = None
+        self._shared: Optional[SharedSnapshotBase] = None
+        self._base_blob: Optional[bytes] = None
+        self._stage_epoch: Optional[int] = None
+        self._stage_delta_blob: Optional[bytes] = None
+
+    # -- base management ----------------------------------------------
+
+    def _rebase(self, aig, config) -> None:
+        self.release()
+        self.base = AigSnapshot.capture(aig)
+        # The journal before the new base epoch can never be asked for
+        # again (deltas are always relative to the current base).
+        aig.trim_mutation_log(self.base.epoch)
+        if config.shared_memory and shared_memory_available():
+            try:
+                self._shared = SharedSnapshotBase(self.base)
+            except (OSError, ValueError):  # pragma: no cover - platform
+                self._shared = None
+
+    def _base_ref(self) -> Tuple[str, object]:
+        """Cheapest way a worker can (re)acquire the current base."""
+        if self._shared is not None:
+            return "shm", self._shared.handle
+        return "cached", None
+
+    def _full_blob(self) -> bytes:
+        if self._base_blob is None:
+            self._base_blob = pickle.dumps(
+                self.base, protocol=pickle.HIGHEST_PROTOCOL
+            )
+        return self._base_blob
+
+    def release(self) -> None:
+        """Drop the base and unlink its shared segment (idempotent)."""
+        if self._shared is not None:
+            self._shared.close()
+            self._shared = None
+        self.base = None
+        self._base_blob = None
+        self._stage_epoch = None
+        self._stage_delta_blob = None
+
+    # -- per-stage refs -----------------------------------------------
+
+    def stage_ref(self, aig, config) -> Tuple[tuple, int, str, float]:
+        """Returns ``(ref, ref_bytes, kind, delta_ratio)`` for the
+        current graph state."""
+        epoch = aig.mutation_epoch
+        delta = None
+        if self.base is not None:
+            dirty = aig.dirty_since(self.base.epoch)
+            if dirty is not None and (
+                len(dirty) <= config.delta_max_fraction * max(1, aig.size)
+            ):
+                if epoch == self.base.epoch:
+                    self._stage_epoch, self._stage_delta_blob = epoch, None
+                    kind, payload = self._base_ref()
+                    ref = (self.run_id, self.base.epoch, epoch, kind, payload, None)
+                    return ref, _ref_nbytes(ref), "cached", 0.0
+                delta = self.base.delta_since(aig)
+        if delta is None:
+            self._rebase(aig, config)
+            self._stage_epoch, self._stage_delta_blob = self.base.epoch, None
+            if self._shared is not None:
+                kind, payload = "shm", self._shared.handle
+            else:
+                kind, payload = "pickle", self._full_blob()
+            ref = (self.run_id, self.base.epoch, self.base.epoch, kind, payload, None)
+            return ref, _ref_nbytes(ref), "full", 1.0
+        if epoch == self._stage_epoch and self._stage_delta_blob is not None:
+            # Same graph state as the previous stage (enum → eval with
+            # no mutations in between): reuse the pickled delta, and the
+            # workers' stage memo skips re-applying it too.
+            blob = self._stage_delta_blob
+        else:
+            blob = pickle.dumps(delta, protocol=pickle.HIGHEST_PROTOCOL)
+        self._stage_epoch, self._stage_delta_blob = epoch, blob
+        kind, payload = self._base_ref()
+        ref = (self.run_id, self.base.epoch, epoch, kind, payload, blob)
+        ratio = delta.num_dirty / max(1, delta.size)
+        return ref, _ref_nbytes(ref), "delta", ratio
+
+    def refill_ref(self) -> Tuple[tuple, int]:
+        """Self-contained ref for resubmitting after a worker-side
+        :class:`SnapshotCacheMiss`: full base pickle plus the delta of
+        the stage being retried."""
+        ref = (
+            self.run_id,
+            self.base.epoch,
+            self._stage_epoch,
+            "pickle",
+            self._full_blob(),
+            self._stage_delta_blob,
+        )
+        return ref, _ref_nbytes(ref)
+
+
+def _ref_nbytes(ref) -> int:
+    """Payload size of one stage ref as it crosses the pipe."""
+    run_id, base_epoch, epoch, base_kind, base_payload, delta_blob = ref
+    n = 64  # tuple/scalar envelope
+    if base_kind == "pickle":
+        n += len(base_payload)
+    elif base_kind == "shm":
+        n += len(pickle.dumps(base_payload, protocol=pickle.HIGHEST_PROTOCOL))
+    if delta_blob is not None:
+        n += len(delta_blob)
+    return n
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+
 class ProcessExecutor(SimulatedExecutor):
-    """Simulated scheduler whose eval stage runs on real processes.
+    """Simulated scheduler whose read stages run on real processes.
 
     ``workers`` is the *logical* worker count of the simulated timeline
     (the paper's parallelism model); ``jobs`` is the number of OS
-    worker processes doing the physical evaluation (defaults to the
-    core count).  The two are independent knobs: quality and reported
+    worker processes doing the physical work (defaults to the core
+    count).  The two are independent knobs: quality and reported
     speedups follow ``workers``, wall-clock follows ``jobs``.
     """
 
     supports_native_eval = True
+    supports_native_enum = True
 
     def __init__(
         self,
@@ -158,10 +411,35 @@ class ProcessExecutor(SimulatedExecutor):
             raise ValueError(f"need at least one job, got {self.jobs}")
         self._pool = None
         self._pool_broken = False
+        # One executor = one run: refs are keyed by this id in the
+        # worker caches, and fallback warnings are scoped to it.
+        self.run_id = f"{os.getpid():x}-{next(_RUN_COUNTER)}"
+        self._fallback_warned = False
+        self._shipper = _SnapshotShipper(self.run_id)
         self.snapshot_bytes_total = 0
+        self.shipped_bytes: Dict[str, int] = {}
+        self.cache_refills = 0
         self.eval_wall_seconds = 0.0
+        self.enum_wall_seconds = 0.0
 
     # -- pool management ----------------------------------------------
+
+    def _warn_fallback(self, why: str) -> None:
+        """Warn that this run degraded to in-parent computation.
+
+        Scoped per run: the run id in the message keeps Python's
+        warning registry from deduplicating one run's fallback against
+        another's, and the instance flag keeps one run from warning on
+        every stage.
+        """
+        if self._fallback_warned:
+            return
+        self._fallback_warned = True
+        warnings.warn(
+            f"run {self.run_id}: {why}; computing in-parent",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def _ensure_pool(self):
         if self._pool is None and not self._pool_broken:
@@ -171,24 +449,65 @@ class ProcessExecutor(SimulatedExecutor):
                 self._pool = ProcessPoolExecutor(max_workers=self.jobs)
             except (ImportError, OSError, ValueError) as exc:
                 self._pool_broken = True
-                warnings.warn(
-                    f"process pool unavailable ({exc}); evaluating in-parent",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
+                self._warn_fallback(f"process pool unavailable ({exc})")
         return self._pool
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down and release the shared-memory
+        base snapshot (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        self._shipper.release()
 
     def __del__(self):  # pragma: no cover - GC safety net
         try:
             self.close()
         except Exception:
             pass
+
+    # -- shared fan-out plumbing --------------------------------------
+
+    def _stage_ref(self, ctx, stage: str):
+        """Build this stage's snapshot ref and account its bytes."""
+        ref, nbytes, kind, ratio = self._shipper.stage_ref(ctx.aig, ctx.config)
+        obs = self.obs
+        if obs.enabled and kind == "delta":
+            obs.observe("snapshot_delta_ratio", ratio)
+        return ref, nbytes, kind
+
+    def _account_bytes(self, stage: str, kind: str, nbytes: int) -> None:
+        self.snapshot_bytes_total += nbytes
+        self.shipped_bytes[kind] = self.shipped_bytes.get(kind, 0) + nbytes
+        obs = self.obs
+        if obs.enabled:
+            obs.count("snapshot_bytes_shipped_total", nbytes, stage=stage, kind=kind)
+            obs.observe("snapshot_bytes", nbytes)
+
+    def _collect_chunks(self, pool, entry, ref, parts, config, collector, stage):
+        """Submit all chunks, fan results back in, refilling any worker
+        that missed its cached base snapshot."""
+        futures = [pool.submit(entry, ref, part, config) for part in parts]
+        merged: List[tuple] = []
+        for part, future in zip(parts, futures):
+            try:
+                part_results, part_collector = future.result()
+            except SnapshotCacheMiss:
+                refill_ref, refill_bytes = self._shipper.refill_ref()
+                self._account_bytes(stage, "refill", refill_bytes)
+                self.cache_refills += 1
+                if self.obs.enabled:
+                    self.obs.count("worker_snapshot_cache_refills_total")
+                part_results, part_collector = pool.submit(
+                    entry, refill_ref, part, config
+                ).result()
+            merged.extend(part_results)
+            collector.merge(part_collector)
+        return merged
+
+    def _chunk(self, tasks: List[tuple]) -> List[List[tuple]]:
+        step = (len(tasks) + self.jobs - 1) // self.jobs
+        return [tasks[i : i + step] for i in range(0, len(tasks), step)]
 
     # -- the native eval stage ----------------------------------------
 
@@ -211,32 +530,19 @@ class ProcessExecutor(SimulatedExecutor):
         pool = self._ensure_pool() if len(items) >= MIN_FANOUT else None
         if pool is not None:
             _warm_shared_state(ctx.config)
-            blob = pickle.dumps(
-                AigSnapshot.capture(ctx.aig), protocol=pickle.HIGHEST_PROTOCOL
-            )
-            snapshot_bytes = len(blob)
-            self.snapshot_bytes_total += snapshot_bytes
-            step = (len(tasks) + self.jobs - 1) // self.jobs
-            parts = [tasks[i : i + step] for i in range(0, len(tasks), step)]
+            ref, ref_bytes, kind = self._stage_ref(ctx, name)
+            parts = self._chunk(tasks)
             chunks = len(parts)
+            snapshot_bytes = ref_bytes * chunks  # the ref rides every chunk
+            self._account_bytes(name, kind, snapshot_bytes)
             try:
-                futures = [
-                    pool.submit(_eval_chunk, blob, part, ctx.config)
-                    for part in parts
-                ]
-                merged: List[Tuple[int, object, int]] = []
-                for future in futures:
-                    part_results, part_collector = future.result()
-                    merged.extend(part_results)
-                    collector.merge(part_collector)
+                merged = self._collect_chunks(
+                    pool, _eval_chunk, ref, parts, ctx.config, collector, name
+                )
             except (OSError, MemoryError) as exc:
                 # A dead pool (killed worker, fork limit) degrades to
                 # the in-parent path rather than losing the run.
-                warnings.warn(
-                    f"process fan-out failed ({exc}); evaluating in-parent",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
+                self._warn_fallback(f"process fan-out failed ({exc})")
                 self._pool_broken = True
                 self.close()
                 merged = _eval_tasks(ctx.aig, tasks, ctx.config, collector)
@@ -250,8 +556,6 @@ class ProcessExecutor(SimulatedExecutor):
         if obs.enabled:
             collector.replay_into(obs)
             obs.observe("eval_fanout_wall_seconds", fanout_wall)
-            if snapshot_bytes:
-                obs.observe("snapshot_bytes", snapshot_bytes)
 
         # Replay through the simulated scheduler: identical costs on
         # identical logical workers reconstruct the simulated timeline,
@@ -272,6 +576,96 @@ class ProcessExecutor(SimulatedExecutor):
             span = obs.begin(
                 "eval_fanout", "fanout", self.now, nodes=len(items),
                 jobs=self.jobs, chunks=chunks,
+            )
+        stage = self.run(name, items, replay_operator)
+        stage.wall_seconds = time.perf_counter() - start_wall
+        if obs.enabled:
+            obs.end(
+                span, self.now,
+                wall_ms=round(stage.wall_seconds * 1e3, 3),
+                snapshot_bytes=snapshot_bytes,
+            )
+        return stage
+
+    # -- the native enum stage ----------------------------------------
+
+    def run_enum(self, name: str, items: Sequence[int], ctx) -> StageStats:
+        """Fan cut enumeration out to processes, then replay the merge.
+
+        Within one enumeration stage the graph is read-only, so each
+        eligible root's merged cut set — and its merge-pair count, the
+        cost the simulated scheduler charges — is a pure function of
+        the stage-start state.  The parent harvests the fanin cut sets
+        (:meth:`~repro.cuts.manager.CutManager.enum_harvest`), workers
+        run the identical merge against the snapshot, and the replay
+        installs each result into the cut cache *before yielding* —
+        mirroring ``fresh_cuts``'s cache-then-lock shape, so an aborted
+        activity retries as a one-unit cache hit exactly like the
+        simulated run.  Ineligible roots (already-fresh entries, deep
+        recursions on cold caches) run the real operator in replay.
+        """
+        from ..core.operators import make_enum_operator
+
+        enum_op = make_enum_operator(ctx)
+        aig = ctx.aig
+        cutman = ctx.cutman
+
+        tasks: List[tuple] = []
+        for root in items:
+            if aig.is_dead(root):
+                continue
+            harvest = cutman.enum_harvest(root)
+            if harvest is not None:
+                tasks.append((root,) + harvest)
+
+        pool = self._ensure_pool() if len(tasks) >= MIN_FANOUT else None
+        if pool is None:
+            return self.run(name, items, enum_op)
+
+        start_wall = time.perf_counter()
+        obs = self.obs
+        _warm_shared_state(ctx.config)
+        collector = _MetricCollector()
+        ref, ref_bytes, kind = self._stage_ref(ctx, name)
+        parts = self._chunk(tasks)
+        snapshot_bytes = ref_bytes * len(parts)
+        self._account_bytes(name, kind, snapshot_bytes)
+        try:
+            merged = self._collect_chunks(
+                pool, _enum_chunk, ref, parts, ctx.config, collector, name
+            )
+        except (OSError, MemoryError) as exc:
+            self._warn_fallback(f"process fan-out failed ({exc})")
+            self._pool_broken = True
+            self.close()
+            return self.run(name, items, enum_op)
+
+        results = {root: (cuts, pairs) for root, cuts, pairs in merged}
+        fanout_wall = time.perf_counter() - start_wall
+        self.enum_wall_seconds += fanout_wall
+        if obs.enabled:
+            collector.replay_into(obs)
+            obs.observe("enum_fanout_wall_seconds", fanout_wall)
+
+        def replay_operator(root: int):
+            if aig.is_dead(root):
+                return
+            got = results.get(root)
+            if got is not None and not cutman.has_fresh_live_cuts(root):
+                cuts, pairs = got
+                cutman.install_cuts(root, cuts, work=pairs)
+                yield Phase(locks=(root,), cost=pairs + 1)
+                return
+            # Cache answers (including a retry after an abort, whose
+            # first attempt already installed the cuts) and roots that
+            # stayed in-parent take the real operator's path.
+            yield from enum_op(root)
+
+        span = None
+        if obs.enabled:
+            span = obs.begin(
+                "enum_fanout", "fanout", self.now, nodes=len(items),
+                jobs=self.jobs, chunks=len(parts),
             )
         stage = self.run(name, items, replay_operator)
         stage.wall_seconds = time.perf_counter() - start_wall

@@ -1,0 +1,127 @@
+"""Differential fuzzing across all four executors.
+
+Each seed generates a random strashed AIG and runs the full DACPara
+rewrite through every executor kind.  The oracle is layered:
+
+* ``process`` must be **byte-identical** to ``simulated`` (same output
+  graph, same result counters) — the fan-out merge replays worker
+  results through the simulated scheduler, so any divergence is a bug.
+* ``serial`` must be byte-identical to ``simulated`` with one worker
+  (a single worker admits exactly one interleaving).
+* ``threaded`` runs real OS threads, so its commit interleaving — and
+  hence node numbering — is scheduler-dependent; it is held to the
+  semantic bar only: SAT-equivalent output, same invariants.
+* Every executor's output must be SAT-equivalent to the *input*
+  (:func:`repro.sat.check_equivalence_auto`; the fuzz circuits keep
+  PI counts in exhaustive-simulation range so the check is exact).
+
+The smoke tier (always on, fixed seeds — CI runs it per-push) covers
+``SMOKE_SEEDS`` plus two pool-sized circuits that genuinely cross the
+``MIN_FANOUT`` threshold.  The remaining ~200-seed sweep is marked
+``slow`` and excluded by the default ``-m "not slow"`` addopts; run it
+with ``pytest tests/test_differential_fuzz.py -m slow``.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+import warnings
+
+import pytest
+
+from repro.aig.check import check
+from repro.bench import mtm_like
+from repro.config import dacpara_config
+from repro.core import DACParaRewriter
+from repro.obs.observer import TracingObserver
+from repro.sat import check_equivalence_auto
+
+from conftest import random_aig
+from test_procpool import aig_fingerprint, result_fingerprint
+
+SMOKE_SEEDS = tuple(range(12))
+SLOW_SEEDS = tuple(range(12, 200))
+
+
+def fuzz_circuit(seed: int):
+    """A random AIG whose shape (PI/node/PO counts) also varies by seed.
+
+    PI counts stay within the exhaustive-simulation limit so every
+    equivalence verdict below is exact, never probabilistic.
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    return random_aig(
+        num_pis=rng.randint(4, 8),
+        num_nodes=rng.randint(30, 140),
+        num_pos=rng.randint(2, 6),
+        seed=seed,
+    )
+
+
+def _run(base, kind: str, workers: int = 5):
+    aig = copy.deepcopy(base)
+    engine = DACParaRewriter(
+        config=dacpara_config(workers=workers), executor_kind=kind, jobs=2
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # a silent pool fallback is a bug
+        result = engine.run(aig)
+    return result, aig
+
+
+def check_differential(base) -> None:
+    r_sim, a_sim = _run(base, "simulated")
+    r_proc, a_proc = _run(base, "process")
+    assert result_fingerprint(r_proc) == result_fingerprint(r_sim)
+    assert aig_fingerprint(a_proc) == aig_fingerprint(a_sim)
+
+    r_sim1, a_sim1 = _run(base, "simulated", workers=1)
+    r_ser, a_ser = _run(base, "serial", workers=1)
+    assert result_fingerprint(r_ser) == result_fingerprint(r_sim1)
+    assert aig_fingerprint(a_ser) == aig_fingerprint(a_sim1)
+
+    _, a_thr = _run(base, "threaded")
+
+    for out in (a_sim, a_proc, a_sim1, a_ser, a_thr):
+        check(out)
+        assert check_equivalence_auto(base, out).equivalent
+
+
+@pytest.mark.parametrize("seed", SMOKE_SEEDS)
+def test_fuzz_smoke(seed):
+    check_differential(fuzz_circuit(seed))
+
+
+@pytest.mark.parametrize("seed", (101, 202))
+def test_fuzz_pool_sized(seed):
+    # Large enough that the process executor actually ships snapshots
+    # to the pool (both stages fan out past MIN_FANOUT) instead of
+    # falling back to in-parent execution.
+    base = mtm_like(num_pis=12, num_nodes=250, seed=seed)
+    r_sim, a_sim = _run(base, "simulated")
+
+    aig = copy.deepcopy(base)
+    obs = TracingObserver()
+    engine = DACParaRewriter(
+        config=dacpara_config(workers=5), executor_kind="process",
+        jobs=2, observer=obs,
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        r_proc = engine.run(aig)
+    assert result_fingerprint(r_proc) == result_fingerprint(r_sim)
+    assert aig_fingerprint(aig) == aig_fingerprint(a_sim)
+    assert check_equivalence_auto(base, aig).equivalent
+    shipped = sum(
+        value
+        for key, value in obs.metrics.snapshot()["counters"].items()
+        if key.startswith("snapshot_bytes_shipped_total")
+    )
+    assert shipped > 0  # the pool genuinely ran; not an in-parent pass
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SLOW_SEEDS)
+def test_fuzz_full_sweep(seed):
+    check_differential(fuzz_circuit(seed))

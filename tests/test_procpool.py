@@ -206,8 +206,36 @@ class TestCrossExecutorEquivalence:
 
         snap_sim = run("simulated")
         snap_proc = run("process")
-        assert snap_sim["counters"] == snap_proc["counters"]
-        proc_only = {"eval_fanout_wall_seconds", "snapshot_bytes"}
+        # The truth-table expand memo is global in a simulated run but
+        # per-chunk in enum fan-out workers, so its raw hit/miss counts
+        # legitimately diverge (worker-side counts are reported under
+        # worker_cut_tt_cache_*).  Everything data-driven must match.
+        memo_counters = {"cut_tt_cache_hits_total", "cut_tt_cache_misses_total"}
+        proc_only_counters = (
+            "snapshot_bytes_shipped_total",
+            "worker_snapshot_cache_",
+            "worker_cut_tt_cache_",
+        )
+
+        def split(counters):
+            keep, extra = {}, {}
+            for key, value in counters.items():
+                name = key.split("{")[0]
+                if name in memo_counters or name.startswith(proc_only_counters):
+                    extra[key] = value
+                else:
+                    keep[key] = value
+            return keep, extra
+
+        sim_keep, sim_extra = split(snap_sim["counters"])
+        proc_keep, proc_extra = split(snap_proc["counters"])
+        assert sim_keep == proc_keep
+        # The simulated run must not emit any process-only counters.
+        assert all(k.split("{")[0] in memo_counters for k in sim_extra)
+        proc_only = {
+            "eval_fanout_wall_seconds", "enum_fanout_wall_seconds",
+            "snapshot_bytes", "snapshot_delta_ratio",
+        }
         shared = set(snap_sim["histograms"]) & set(snap_proc["histograms"])
         assert set(snap_sim["histograms"]) - set(snap_proc["histograms"]) == set()
         extras = set(snap_proc["histograms"]) - set(snap_sim["histograms"])
@@ -302,6 +330,172 @@ class TestProcessExecutor:
         # default-construction library has identical content, so results
         # agree even though the custom one forces the operator path
         assert (r1.area_after, r1.replacements) == (r2.area_after, r2.replacements)
+
+
+class TestEnumFanout:
+    """Process-parallel cut enumeration: byte-identity under every
+    shipping configuration, plus the worker-cache refill path."""
+
+    BASE = staticmethod(lambda: mtm_like(num_pis=20, num_nodes=500, seed=5))
+
+    def _run_engine(self, base, kind, config=None):
+        aig = copy.deepcopy(base)
+        obs = TracingObserver()
+        engine = DACParaRewriter(
+            config=config or dacpara_config(workers=8),
+            executor_kind=kind, jobs=2, observer=obs,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = engine.run(aig)
+        return result, aig, obs.metrics.snapshot()
+
+    @staticmethod
+    def _shipped_by_kind(metrics):
+        out = {}
+        for key, value in metrics["counters"].items():
+            if key.startswith("snapshot_bytes_shipped_total"):
+                kind = key.split("kind=")[1].split(",")[0].rstrip("}")
+                out[kind] = out.get(kind, 0) + value
+        return out
+
+    def test_enum_fanout_off_matches_on(self):
+        import dataclasses
+
+        base = self.BASE()
+        r_sim, a_sim, _ = self._run_engine(base, "simulated")
+        r_on, a_on, m_on = self._run_engine(base, "process")
+        cfg = dataclasses.replace(dacpara_config(workers=8), enum_fanout=False)
+        r_off, a_off, _ = self._run_engine(base, "process", config=cfg)
+        for r, a in ((r_on, a_on), (r_off, a_off)):
+            assert result_fingerprint(r) == result_fingerprint(r_sim)
+            assert aig_fingerprint(a) == aig_fingerprint(a_sim)
+        # With fan-out on, the enum stage itself ships snapshots.
+        enum_bytes = sum(
+            v for k, v in m_on["counters"].items()
+            if k.startswith("snapshot_bytes_shipped_total")
+            and "stage=enum" in k
+        )
+        assert enum_bytes > 0
+
+    def test_delta_too_large_always_recaptures(self):
+        import dataclasses
+
+        base = self.BASE()
+        r_sim, a_sim, _ = self._run_engine(base, "simulated")
+        cfg = dataclasses.replace(
+            dacpara_config(workers=8), delta_max_fraction=0.0
+        )
+        r_proc, a_proc, metrics = self._run_engine(base, "process", config=cfg)
+        assert result_fingerprint(r_proc) == result_fingerprint(r_sim)
+        assert aig_fingerprint(a_proc) == aig_fingerprint(a_sim)
+        shipped = self._shipped_by_kind(metrics)
+        # fraction 0.0 forbids deltas: every mutated stage recaptures in
+        # full, unmutated stages still reuse the worker-cached base.
+        assert shipped.get("delta", 0) == 0
+        assert shipped.get("full", 0) > 0
+
+    def test_no_shared_memory_fallback(self):
+        import dataclasses
+
+        base = self.BASE()
+        r_sim, a_sim, _ = self._run_engine(base, "simulated")
+        cfg = dataclasses.replace(dacpara_config(workers=8), shared_memory=False)
+        r_proc, a_proc, m_pickle = self._run_engine(base, "process", config=cfg)
+        assert result_fingerprint(r_proc) == result_fingerprint(r_sim)
+        assert aig_fingerprint(a_proc) == aig_fingerprint(a_sim)
+        # Pickled bases ride the pipe in full, so the no-shm run ships
+        # strictly more bytes than the shm run for the same work.
+        _, _, m_shm = self._run_engine(base, "process")
+        assert sum(self._shipped_by_kind(m_pickle).values()) > \
+               sum(self._shipped_by_kind(m_shm).values())
+
+    def test_default_run_uses_deltas(self):
+        _, _, metrics = self._run_engine(self.BASE(), "process")
+        shipped = self._shipped_by_kind(metrics)
+        assert shipped.get("delta", 0) > 0
+        assert any(
+            k.startswith("snapshot_delta_ratio")
+            for k in metrics["histograms"]
+        )
+
+    def test_worker_cache_refill_after_pool_restart(self):
+        import dataclasses
+
+        aig = mtm_like(num_pis=16, num_nodes=300, seed=21)
+        # With shared memory on, any worker can re-attach the base from
+        # its handle and no cache miss is possible; the refill protocol
+        # exists for the pickle-base path, so test it there.
+        config = dataclasses.replace(
+            dacpara_config(workers=4), shared_memory=False
+        )
+
+        def prepped_ctx(a):
+            cutman = CutManager(a, k=4, max_cuts=12)
+            for root in a.topo_ands():
+                cutman.fresh_cuts(root)
+            return StageContext(
+                aig=a, cutman=cutman, library=get_library(), config=config
+            )
+
+        a_proc = copy.deepcopy(aig)
+        ctx = prepped_ctx(a_proc)
+        ex = ProcessExecutor(4, jobs=2)
+        try:
+            ex.run_eval("eval", a_proc.topo_ands(), ctx)
+            assert ex.cache_refills == 0
+            # Kill the pool: the replacement's fresh workers have never
+            # seen this run's base snapshot, so the "cached" refs the
+            # shipper sends next must miss and trigger refills.
+            ex._pool.shutdown(wait=True, cancel_futures=True)
+            ex._pool = None
+            ex.run_eval("eval", a_proc.topo_ands(), ctx)
+            assert ex.cache_refills > 0
+            assert ex.shipped_bytes.get("refill", 0) > 0
+        finally:
+            ex.close()
+        # The refilled pass still computes the exact same candidates.
+        a_ref = copy.deepcopy(aig)
+        ctx_ref = prepped_ctx(a_ref)
+        sim = SimulatedExecutor(4)
+        sim.run("eval", a_ref.topo_ands(), make_eval_operator(ctx_ref))
+        got = {v: ctx.prep_info.get(v) for v in a_proc.topo_ands()}
+        want = {v: ctx_ref.prep_info.get(v) for v in a_ref.topo_ands()}
+        assert {v: c and (c.gain, c.canon_tt) for v, c in got.items()} == \
+               {v: c and (c.gain, c.canon_tt) for v, c in want.items()}
+
+
+class TestFallbackWarning:
+    """The pool-unavailable warning is scoped per run: two runs in one
+    interpreter each warn once, repeat failures in a run stay quiet."""
+
+    def test_warns_once_per_run(self, monkeypatch):
+        import concurrent.futures
+
+        def boom(*args, **kwargs):
+            raise OSError("no process support here")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", boom
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("default")
+            ex1 = ProcessExecutor(4, jobs=2)
+            try:
+                assert ex1._ensure_pool() is None
+                assert ex1._ensure_pool() is None  # no second warning
+            finally:
+                ex1.close()
+            ex2 = ProcessExecutor(4, jobs=2)
+            try:
+                assert ex2._ensure_pool() is None
+            finally:
+                ex2.close()
+        msgs = [str(w.message) for w in caught
+                if issubclass(w.category, RuntimeWarning)]
+        assert len(msgs) == 2  # one per run, not one per interpreter
+        assert msgs[0] != msgs[1]  # run ids keep the registry honest
+        assert all("computing in-parent" in m for m in msgs)
 
 
 class TestConfigExecutor:

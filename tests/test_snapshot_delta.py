@@ -1,0 +1,240 @@
+"""Snapshot deltas, the mutation journal, and shared-memory backing.
+
+The contract under test: for any mutation sequence,
+``base.apply_delta(base.delta_since(aig))`` is indistinguishable from a
+fresh ``AigSnapshot.capture(aig)`` — same arrays, same metadata, same
+strash probes — and the epoch bookkeeping (``copy()``, journal trims)
+can only ever force a *full recapture*, never a wrong delta.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import numpy as np
+import pytest
+
+from repro.aig import (
+    Aig,
+    AigSnapshot,
+    SharedSnapshotBase,
+    attach_shared,
+    capture_delta,
+    shared_memory_available,
+)
+from repro.aig.literals import lit_not, lit_var
+from repro.errors import AigError
+
+from conftest import random_aig
+
+_ARRAYS = ("_kind", "_fanin0", "_fanin1", "_nref", "_level", "_stamp", "_life")
+
+
+def assert_snapshots_equal(a: AigSnapshot, b: AigSnapshot) -> None:
+    for field in _ARRAYS:
+        assert np.array_equal(getattr(a, field), getattr(b, field)), field
+    assert a.pis == b.pis
+    assert a.pos == b.pos
+    assert a.num_ands == b.num_ands
+    assert a.generation == b.generation
+    assert a.name == b.name
+    assert a.epoch == b.epoch
+
+
+def mutate_randomly(aig: Aig, rng: random.Random, ops: int) -> None:
+    """A random create/kill sequence using only public mutators."""
+    for _ in range(ops):
+        choice = rng.random()
+        lits = [2 * v for v in range(1, aig.size) if not aig.is_dead(v)]
+        if choice < 0.45:
+            f0 = rng.choice(lits) ^ rng.randrange(2)
+            f1 = rng.choice(lits) ^ rng.randrange(2)
+            aig.and_(f0, f1)
+        elif choice < 0.70:
+            ands = [v for v in aig.ands() if aig.nref(v) > 0]
+            if ands:
+                v = rng.choice(ands)
+                # Redirecting a node to one of its own fanins is always
+                # acyclic, and exercises deletion cascades + rehashing.
+                aig.replace(v, aig.fanin0(v))
+        elif choice < 0.85 and aig.num_pos:
+            index = rng.randrange(aig.num_pos)
+            aig.set_po(index, rng.choice(lits) ^ rng.randrange(2))
+        elif choice < 0.95:
+            aig.add_po(rng.choice(lits) ^ rng.randrange(2))
+        else:
+            aig.cleanup_dangling()
+
+
+class TestMutationJournal:
+    def test_epoch_monotonic_and_dirty_tracking(self):
+        aig = Aig()
+        e0 = aig.mutation_epoch
+        a = aig.add_pi()
+        b = aig.add_pi()
+        assert aig.mutation_epoch > e0
+        mid = aig.mutation_epoch
+        lit = aig.and_(a, b)
+        aig.add_po(lit)
+        dirty = aig.dirty_since(mid)
+        assert lit_var(lit) in dirty
+        assert aig.dirty_since(aig.mutation_epoch) == set()
+
+    def test_dirty_since_before_journal_is_none(self):
+        aig = random_aig(num_pis=4, num_nodes=30, num_pos=2, seed=0)
+        epoch = aig.mutation_epoch
+        aig.trim_mutation_log(epoch)
+        assert aig.dirty_since(epoch - 1) is None
+        assert aig.dirty_since(epoch) == set()
+
+    def test_trim_keeps_later_entries(self):
+        aig = random_aig(num_pis=4, num_nodes=30, num_pos=2, seed=1)
+        mid = aig.mutation_epoch
+        lit = aig.and_(aig.pis[0] * 2 + 0 if False else 2 * aig.pis[0], 2 * aig.pis[1])
+        after = aig.dirty_since(mid)
+        aig.trim_mutation_log(mid)
+        assert aig.dirty_since(mid) == after
+        assert lit_var(lit) in after
+
+    def test_epoch_survives_copy(self):
+        aig = random_aig(num_pis=5, num_nodes=60, num_pos=3, seed=2)
+        base = AigSnapshot.capture(aig)
+        clone = aig.copy()
+        # The copy's epoch continues the original's monotonic counter …
+        assert clone.mutation_epoch >= aig.mutation_epoch
+        # … but its journal restarts, so pre-copy epochs force a full
+        # recapture instead of a bogus empty delta.
+        assert clone.dirty_since(base.epoch) is None
+        assert base.delta_since(clone) is None
+        # New mutations on the copy are tracked from its own epoch on.
+        e = clone.mutation_epoch
+        clone.add_po(2 * clone.pis[0])
+        assert clone.dirty_since(e) == {clone.pis[0]}
+
+
+class TestSnapshotDelta:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_round_trip_equals_fresh_capture(self, seed):
+        rng = random.Random(seed)
+        aig = random_aig(
+            num_pis=rng.randint(4, 7),
+            num_nodes=rng.randint(40, 120),
+            num_pos=rng.randint(2, 5),
+            seed=seed,
+        )
+        base = AigSnapshot.capture(aig)
+        mutate_randomly(aig, rng, ops=rng.randint(5, 40))
+        delta = base.delta_since(aig)
+        assert delta is not None
+        patched = base.apply_delta(delta)
+        assert_snapshots_equal(patched, AigSnapshot.capture(aig))
+        # Strash probes agree too (rebuilt from the patched arrays).
+        for _ in range(100):
+            a = rng.randrange(2 * aig.size)
+            b = rng.randrange(2 * aig.size)
+            assert patched.has_and(a, b) == aig.has_and(a, b)
+
+    def test_chained_deltas(self):
+        rng = random.Random(99)
+        aig = random_aig(num_pis=6, num_nodes=80, num_pos=3, seed=99)
+        base = AigSnapshot.capture(aig)
+        for _ in range(5):
+            mutate_randomly(aig, rng, ops=6)
+            patched = base.apply_delta(base.delta_since(aig))
+            assert_snapshots_equal(patched, AigSnapshot.capture(aig))
+
+    def test_empty_delta_only_bumps_epoch(self):
+        aig = random_aig(num_pis=4, num_nodes=30, num_pos=2, seed=3)
+        base = AigSnapshot.capture(aig)
+        delta = base.delta_since(aig)
+        assert delta.num_dirty == 0
+        assert_snapshots_equal(base.apply_delta(delta), base)
+
+    def test_delta_pickles_and_is_sparse(self):
+        aig = random_aig(num_pis=6, num_nodes=400, num_pos=3, seed=4)
+        base = AigSnapshot.capture(aig)
+        aig.add_po(lit_not(2 * aig.pis[0]))
+        delta = base.delta_since(aig)
+        blob = pickle.dumps(delta, protocol=pickle.HIGHEST_PROTOCOL)
+        full = pickle.dumps(base, protocol=pickle.HIGHEST_PROTOCOL)
+        assert len(blob) < len(full) / 5
+        patched = base.apply_delta(pickle.loads(blob))
+        assert_snapshots_equal(patched, AigSnapshot.capture(aig))
+
+    def test_apply_delta_rejects_wrong_base(self):
+        aig = random_aig(num_pis=4, num_nodes=30, num_pos=2, seed=5)
+        base = AigSnapshot.capture(aig)
+        aig.add_po(2 * aig.pis[0])
+        later = AigSnapshot.capture(aig)
+        aig.add_po(2 * aig.pis[1])
+        delta = later.delta_since(aig)
+        with pytest.raises(AigError):
+            base.apply_delta(delta)
+
+    def test_capture_delta_none_after_trim(self):
+        aig = random_aig(num_pis=4, num_nodes=30, num_pos=2, seed=6)
+        base = AigSnapshot.capture(aig)
+        aig.add_po(2 * aig.pis[0])
+        aig.trim_mutation_log(aig.mutation_epoch)
+        assert capture_delta(aig, base.epoch) is None
+
+
+class TestSharedMemoryBacking:
+    def test_available_here(self):
+        assert shared_memory_available()
+
+    def test_publish_attach_round_trip(self):
+        aig = random_aig(num_pis=6, num_nodes=120, num_pos=4, seed=7)
+        snap = AigSnapshot.capture(aig)
+        shared = SharedSnapshotBase(snap)
+        try:
+            attached = attach_shared(shared.handle)
+            try:
+                assert_snapshots_equal(attached, snap)
+                rng = random.Random(8)
+                for _ in range(100):
+                    a = rng.randrange(2 * aig.size)
+                    b = rng.randrange(2 * aig.size)
+                    assert attached.has_and(a, b) == snap.has_and(a, b)
+                # shm views are frozen: mutation is a hard error.
+                with pytest.raises(ValueError):
+                    attached._kind[0] = 1
+            finally:
+                attached.release()
+        finally:
+            shared.close()
+
+    def test_handle_is_tiny(self):
+        aig = random_aig(num_pis=6, num_nodes=400, num_pos=4, seed=9)
+        snap = AigSnapshot.capture(aig)
+        shared = SharedSnapshotBase(snap)
+        try:
+            handle_bytes = len(pickle.dumps(shared.handle,
+                                            protocol=pickle.HIGHEST_PROTOCOL))
+            full_bytes = len(pickle.dumps(snap, protocol=pickle.HIGHEST_PROTOCOL))
+            assert handle_bytes < full_bytes / 10
+        finally:
+            shared.close()
+
+    def test_delta_applies_on_attached_base(self):
+        aig = random_aig(num_pis=6, num_nodes=100, num_pos=3, seed=10)
+        base = AigSnapshot.capture(aig)
+        shared = SharedSnapshotBase(base)
+        try:
+            attached = attach_shared(shared.handle)
+            try:
+                rng = random.Random(11)
+                mutate_randomly(aig, rng, ops=10)
+                patched = attached.apply_delta(base.delta_since(aig))
+                assert_snapshots_equal(patched, AigSnapshot.capture(aig))
+            finally:
+                attached.release()
+        finally:
+            shared.close()
+
+    def test_close_idempotent(self):
+        aig = random_aig(num_pis=4, num_nodes=30, num_pos=2, seed=12)
+        shared = SharedSnapshotBase(AigSnapshot.capture(aig))
+        shared.close()
+        shared.close()
