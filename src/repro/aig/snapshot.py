@@ -33,6 +33,8 @@ Two mechanisms keep repeated hand-offs cheap:
 
 from __future__ import annotations
 
+import atexit
+import weakref
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -384,13 +386,27 @@ def shared_memory_available() -> bool:
     return True
 
 
+#: Every live parent-side shared segment, so an abnormal interpreter
+#: exit (unhandled exception past the executor, SIGTERM-triggered
+#: atexit) still unlinks them instead of leaking /dev/shm space until
+#: reboot.  Weak references: a normally close()d base just drops out.
+_LIVE_SHARED_BASES: "weakref.WeakSet[SharedSnapshotBase]" = weakref.WeakSet()
+
+
+@atexit.register
+def _unlink_live_shared_bases() -> None:  # pragma: no cover - exit hook
+    for base in list(_LIVE_SHARED_BASES):
+        base.close()
+
+
 class SharedSnapshotBase:
     """Parent-side owner of a snapshot published to shared memory.
 
     All per-node arrays are packed back to back into one named
     segment; :attr:`handle` is the tiny picklable descriptor a worker
     feeds to :func:`attach_shared`.  The parent keeps the segment alive
-    until :meth:`close` (which also unlinks it).
+    until :meth:`close` (which also unlinks it); segments still live at
+    interpreter exit are unlinked by the :mod:`atexit` finalizer.
     """
 
     def __init__(self, snapshot: AigSnapshot):
@@ -408,6 +424,7 @@ class SharedSnapshotBase:
             layout.append((field, offset, str(arr.dtype), arr.shape))
             offset += arr.nbytes
         self.nbytes = total
+        _LIVE_SHARED_BASES.add(self)
         self.handle = (
             self._shm.name,
             tuple(layout),
@@ -421,6 +438,7 @@ class SharedSnapshotBase:
 
     def close(self) -> None:
         """Release and unlink the segment (idempotent)."""
+        _LIVE_SHARED_BASES.discard(self)
         shm = self._shm
         if shm is None:
             return

@@ -12,6 +12,9 @@ Three timings, written to ``BENCH_hotpath.json`` (``repro bench`` or
   counters.
 * **eval-stage** — end-to-end evaluation-stage throughput, simulated
   executor versus the process-pool executor (same circuit, same cuts).
+* **degraded-eval** — the same process fan-out with injected faults
+  (one chunk raises, one chunk SIGKILLs its worker): what chunk
+  retries and a pool restart cost relative to the healthy run.
 * **snapshot-delta** — per-stage bytes a parent would ship to pool
   workers across a sequence of mutate-then-fan-out rounds: full
   recapture every stage versus the incremental
@@ -104,13 +107,14 @@ def _bench_cut_enumeration(quick: bool) -> Dict[str, object]:
     }
 
 
-def _eval_context(aig) -> StageContext:
+def _eval_context(aig, config=None) -> StageContext:
     cutman = CutManager(aig, k=4, max_cuts=12)
     live = aig.topo_ands()
     for root in live:  # pre-enumerate, as the enum stage barrier would
         cutman.fresh_cuts(root)
     return StageContext(
-        aig=aig, cutman=cutman, library=get_library(), config=dacpara_config()
+        aig=aig, cutman=cutman, library=get_library(),
+        config=config or dacpara_config(),
     )
 
 
@@ -147,6 +151,58 @@ def _bench_eval_stage(quick: bool, jobs: Optional[int]) -> Dict[str, object]:
         if process_seconds > 0 else None,
         "jobs": used_jobs,
         "snapshot_bytes": snapshot_bytes,
+    }
+
+
+def _bench_degraded_eval(quick: bool, jobs: Optional[int]) -> Dict[str, object]:
+    """Degraded-mode timing: the same eval fan-out with injected
+    faults (one chunk raises, one chunk kills its worker), exercising
+    the retry and pool-restart recovery paths.  The interesting number
+    is ``overhead_ratio`` — what one retried chunk plus one pool
+    restart cost relative to the healthy fan-out; correctness of the
+    recovered results is asserted elsewhere (``tests/test_chaos.py``),
+    so a sanity check on the candidate count is enough here.
+    """
+    import dataclasses
+
+    num_nodes = 400 if quick else 2000
+    aig = mtm_like(num_pis=24, num_nodes=num_nodes, seed=3)
+    live = aig.topo_ands()
+
+    def timed(config):
+        ctx = _eval_context(aig, config=config)
+        proc = ProcessExecutor(8, jobs=jobs)
+        try:
+            t0 = time.perf_counter()
+            proc.run_eval("eval", live, ctx)
+            seconds = time.perf_counter() - t0
+            stored = sum(
+                1 for v in live if ctx.prep_info.get(v) is not None
+            )
+            return seconds, stored, proc
+        finally:
+            proc.close()
+
+    healthy_seconds, healthy_stored, _ = timed(dacpara_config())
+    faulty_config = dataclasses.replace(
+        dacpara_config(),
+        fault_plan="raise@eval:0,kill@eval:1",
+        chunk_timeout_seconds=60.0,
+    )
+    degraded_seconds, degraded_stored, proc = timed(faulty_config)
+    return {
+        "circuit": aig.name,
+        "nodes": len(live),
+        "fault_plan": faulty_config.fault_plan,
+        "healthy_seconds": round(healthy_seconds, 6),
+        "degraded_seconds": round(degraded_seconds, 6),
+        "overhead_ratio": round(degraded_seconds / healthy_seconds, 2)
+        if healthy_seconds > 0 else None,
+        "chunk_retries": proc.chunk_retries,
+        "pool_restarts": proc.pool_restarts,
+        "chunk_fallbacks": proc.chunk_fallbacks,
+        "quarantined_chunks": len(proc.quarantined),
+        "candidates_match": healthy_stored == degraded_stored,
     }
 
 
@@ -222,7 +278,7 @@ def _bench_snapshot_delta(quick: bool) -> Dict[str, object]:
 
 
 def run_hotpath_bench(quick: bool = False, jobs: Optional[int] = None) -> Dict[str, object]:
-    """Run all three micro-benchmarks; returns the report dict."""
+    """Run all the micro-benchmarks; returns the report dict."""
     return {
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "quick": quick,
@@ -234,6 +290,7 @@ def run_hotpath_bench(quick: bool = False, jobs: Optional[int] = None) -> Dict[s
         "npn_canon": _bench_npn_canon(quick),
         "cut_enumeration": _bench_cut_enumeration(quick),
         "eval_stage": _bench_eval_stage(quick, jobs),
+        "degraded_eval": _bench_degraded_eval(quick, jobs),
         "snapshot_delta": _bench_snapshot_delta(quick),
     }
 

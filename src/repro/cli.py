@@ -112,6 +112,14 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
         config_updates["enum_fanout"] = False
     if args.delta_max_fraction is not None:
         config_updates["delta_max_fraction"] = args.delta_max_fraction
+    if args.chunk_timeout is not None:
+        config_updates["chunk_timeout_seconds"] = (
+            args.chunk_timeout if args.chunk_timeout > 0 else None
+        )
+    if args.chunk_retries is not None:
+        config_updates["chunk_max_retries"] = args.chunk_retries
+    if args.pool_restart_budget is not None:
+        config_updates["pool_restart_budget"] = args.pool_restart_budget
     if config_updates:
         if not hasattr(engine, "config"):
             print(
@@ -260,6 +268,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="recapture the snapshot in full once more than F of the "
              "node slots changed since the base (default 0.25)",
     )
+    p_rw.add_argument(
+        "--chunk-timeout", type=float, default=None, metavar="SECONDS",
+        help="deadline per fanned-out chunk; a chunk past it is "
+             "computed in-parent and the wedged pool restarted "
+             "(default 300, 0 disables; --executor process)",
+    )
+    p_rw.add_argument(
+        "--chunk-retries", type=int, default=None, metavar="N",
+        help="resubmissions per failed chunk before it is split and "
+             "eventually quarantined (default 2; --executor process)",
+    )
+    p_rw.add_argument(
+        "--pool-restart-budget", type=int, default=None, metavar="N",
+        help="worker-pool restarts allowed per run after crashes or "
+             "hangs (default 2; --executor process)",
+    )
     p_rw.add_argument("--verify", action="store_true")
     p_rw.add_argument(
         "--trace", metavar="PATH",
@@ -352,6 +376,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"eval-stage: simulated {ev['simulated_nodes_per_second']:.0f} nodes/s, "
         f"process {ev['process_nodes_per_second']:.0f} nodes/s "
         f"(jobs={ev['jobs']})"
+    )
+    deg = report["degraded_eval"]
+    print(
+        f"degraded-eval: {deg['degraded_seconds']:.3f}s vs healthy "
+        f"{deg['healthy_seconds']:.3f}s ({deg['overhead_ratio']}x, "
+        f"{deg['chunk_retries']} retries, {deg['pool_restarts']} pool "
+        f"restarts, {deg['chunk_fallbacks']} fallbacks)"
     )
     snap = report["snapshot_delta"]
     print(

@@ -50,6 +50,22 @@ class RewriteConfig:
     # (evaluation always fans out); results are replayed through the
     # simulated scheduler either way, so this only affects wall-clock.
     enum_fanout: bool = True
+    # Deadline for one fanned-out chunk: a chunk that outlives it is
+    # computed in-parent and the (presumed wedged) pool is restarted.
+    # None disables the deadline (a hung worker then hangs the stage).
+    chunk_timeout_seconds: Optional[float] = 300.0
+    # Failed chunks (worker raised, corrupted result, died with the
+    # pool) are resubmitted up to this many times with capped
+    # exponential backoff, then split in half; a chunk that survives
+    # splitting too is quarantined and computed in-parent.
+    chunk_max_retries: int = 2
+    # BrokenProcessPool recoveries allowed per run before the
+    # remaining chunks degrade to in-parent computation.
+    pool_restart_budget: int = 2
+    # Fault-injection plan for the chaos tests: entries
+    # "mode@stage:chunk[:fires]" (mode = kill/hang/raise/corrupt)
+    # separated by "," or ";"; None falls back to $REPRO_FAULT_PLAN.
+    fault_plan: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.cut_size != 4:
@@ -68,6 +84,22 @@ class RewriteConfig:
             raise ConfigError("jobs must be >= 1 or None")
         if not 0.0 <= self.delta_max_fraction <= 1.0:
             raise ConfigError("delta_max_fraction must be within [0, 1]")
+        if self.chunk_timeout_seconds is not None and \
+                self.chunk_timeout_seconds <= 0:
+            raise ConfigError(
+                "chunk_timeout_seconds must be positive or None"
+            )
+        if self.chunk_max_retries < 0:
+            raise ConfigError("chunk_max_retries must be >= 0")
+        if self.pool_restart_budget < 0:
+            raise ConfigError("pool_restart_budget must be >= 0")
+        if self.fault_plan is not None:
+            from .galois.procpool import FaultPlan
+
+            try:
+                FaultPlan.parse(self.fault_plan)
+            except ValueError as exc:
+                raise ConfigError(str(exc))
         class_set(self.npn_classes)  # validates the name
 
     @property

@@ -34,6 +34,30 @@ executor falls back to computing chunks in-parent — same results, no
 parallelism — and says so via ``warnings`` once *per run* (each
 executor instance carries a run id, so two runs in one interpreter
 each report their own fallback).
+
+Fault tolerance is *chunk-grained*, not stage-grained: a chunk that
+raises, returns a corrupted result, or times out is retried with
+capped exponential backoff, split in half on repeated failure, and —
+only as a last resort — computed in-parent and recorded on the
+executor's quarantine list, while every other chunk of the fan-out
+still completes on worker cores.  A dead pool (``BrokenProcessPool``)
+is restarted up to ``config.pool_restart_budget`` times instead of
+being abandoned for the rest of the run.  Because every recovery path
+reproduces the exact values a healthy worker would have returned (the
+merge is keyed by root and replayed through the simulated scheduler),
+results stay byte-identical to ``executor_kind="simulated"`` under any
+combination of faults.
+
+For testing those paths there is a fault-injection hook: the
+``REPRO_FAULT_PLAN`` environment variable (or ``config.fault_plan``)
+holds entries ``mode@stage:chunk[:fires]`` separated by ``,`` or
+``;``, where ``mode`` is one of ``kill`` (SIGKILL the worker),
+``hang`` (sleep past any deadline), ``raise`` (raise
+:class:`InjectedFault`) or ``corrupt`` (return a mangled result list),
+``stage``/``chunk`` select the fan-out coordinates (``*`` matches
+any), and ``fires`` bounds how many submissions trigger it (default
+1).  The directive is armed by the parent per submission and executed
+worker-side, so retries of an already-fired coordinate run clean.
 """
 
 from __future__ import annotations
@@ -41,10 +65,18 @@ from __future__ import annotations
 import itertools
 import os
 import pickle
+import signal
 import time
 import warnings
-from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import OrderedDict, deque
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - present on every supported CPython
+    from concurrent.futures.process import BrokenProcessPool as _BrokenPool
+except ImportError:  # pragma: no cover
+    class _BrokenPool(RuntimeError):
+        pass
 
 from ..aig.snapshot import (
     AigSnapshot,
@@ -65,7 +97,31 @@ MIN_FANOUT = 16
 #: run id); old runs are evicted LRU and their shm segments detached.
 _WORKER_CACHE_LIMIT = 4
 
+#: Capped exponential backoff between retry rounds of failed chunks:
+#: RETRY_BACKOFF_BASE * 2**min(attempts, RETRY_BACKOFF_CAP_EXP)
+#: seconds, never more than RETRY_BACKOFF_MAX.
+RETRY_BACKOFF_BASE = 0.02
+RETRY_BACKOFF_CAP_EXP = 4
+RETRY_BACKOFF_MAX = 0.25
+
+#: A chunk that keeps failing is split in half at most this many times
+#: before its pieces are quarantined; bounds the number of doomed
+#: submissions a poison chunk can cost to O(2**depth * retries).
+MAX_SPLIT_DEPTH = 2
+
+#: How long an injected ``hang`` fault sleeps worker-side.  Must only
+#: exceed any chunk deadline under test; the wedged worker is reaped
+#: when the parent restarts the pool.
+FAULT_HANG_SECONDS = 30.0
+
 _RUN_COUNTER = itertools.count(1)
+
+
+def _fault_hang_seconds() -> float:
+    try:
+        return float(os.environ.get("REPRO_FAULT_HANG_SECONDS", ""))
+    except ValueError:
+        return FAULT_HANG_SECONDS
 
 
 def default_jobs() -> int:
@@ -77,6 +133,120 @@ class SnapshotCacheMiss(Exception):
     """A worker was handed an ``assume-cached`` snapshot ref it does
     not hold (fresh worker, evicted entry).  The parent catches this
     per-chunk and resubmits with a full payload."""
+
+
+class InjectedFault(RuntimeError):
+    """Raised worker-side by a ``raise`` entry of the fault plan."""
+
+
+class ChunkResultError(Exception):
+    """A worker returned a result list that does not answer the tasks
+    it was handed (wrong length, wrong roots, wrong shape) — treated
+    exactly like a worker-side exception: retry, split, quarantine."""
+
+
+class FaultPlan:
+    """Parsed ``REPRO_FAULT_PLAN`` / ``config.fault_plan`` directives.
+
+    Entries are ``mode@stage:chunk[:fires]``; :meth:`arm` is called by
+    the parent for every chunk submission and consumes one fire from
+    the first matching entry, so a coordinate's retry runs clean once
+    its budget is spent.
+    """
+
+    MODES = ("kill", "hang", "raise", "corrupt")
+
+    def __init__(self, entries: List[Dict[str, object]]):
+        self.entries = entries
+
+    @classmethod
+    def parse(cls, spec: Optional[str]) -> Optional["FaultPlan"]:
+        if not spec or not spec.strip():
+            return None
+        entries: List[Dict[str, object]] = []
+        for raw in spec.replace(";", ",").split(","):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                mode, coords = raw.split("@", 1)
+                parts = coords.split(":")
+                stage, chunk = parts[0], parts[1]
+                fires = int(parts[2]) if len(parts) > 2 else 1
+            except (ValueError, IndexError):
+                raise ValueError(
+                    f"bad fault-plan entry {raw!r}: expected "
+                    f"mode@stage:chunk[:fires]"
+                )
+            mode = mode.strip()
+            if mode not in cls.MODES:
+                raise ValueError(
+                    f"bad fault-plan mode {mode!r}: expected one of "
+                    f"{'/'.join(cls.MODES)}"
+                )
+            entries.append({
+                "mode": mode,
+                "stage": stage.strip(),
+                "chunk": chunk.strip(),
+                "fires": fires,
+            })
+        return cls(entries) if entries else None
+
+    def arm(self, stage: str, chunk: int) -> Optional[str]:
+        """Mode to inject into this submission, consuming one fire."""
+        for entry in self.entries:
+            if entry["fires"] <= 0:
+                continue
+            if entry["stage"] not in ("*", stage):
+                continue
+            if entry["chunk"] != "*" and entry["chunk"] != str(chunk):
+                continue
+            entry["fires"] -= 1
+            return entry["mode"]
+        return None
+
+
+def _execute_fault(mode: str) -> None:
+    """Worker-side execution of an armed pre-compute fault."""
+    if mode == "kill":
+        if hasattr(signal, "SIGKILL"):  # pragma: no branch - POSIX CI
+            os.kill(os.getpid(), signal.SIGKILL)
+        os._exit(1)  # pragma: no cover - non-POSIX fallback
+    if mode == "hang":
+        time.sleep(_fault_hang_seconds())
+    elif mode == "raise":
+        raise InjectedFault(f"injected fault in worker {os.getpid()}")
+
+
+def _corrupt_results(results: List[tuple]) -> List[tuple]:
+    """The ``corrupt`` fault: mangle a chunk's result list in ways the
+    parent-side validator must catch (wrong root, missing entry)."""
+    if not results:
+        return [(0, None, 0)]
+    mangled = list(results)
+    root, *rest = mangled[0]
+    mangled[0] = (root + 1, *rest)
+    return mangled[:-1] if len(mangled) > 1 else mangled
+
+
+def _validate_chunk(tasks: Sequence[tuple], results: object) -> List[tuple]:
+    """Check a worker's answer actually answers ``tasks``.
+
+    The merge is keyed by root, so an undetected misalignment would
+    silently corrupt the replay; shape mismatches instead surface as
+    :class:`ChunkResultError` and take the retry path.
+    """
+    if not isinstance(results, list) or len(results) != len(tasks):
+        raise ChunkResultError(
+            f"chunk returned {len(results) if isinstance(results, list) else type(results).__name__} "
+            f"results for {len(tasks)} tasks"
+        )
+    for task, entry in zip(tasks, results):
+        if not isinstance(entry, tuple) or len(entry) != 3 or entry[0] != task[0]:
+            raise ChunkResultError(
+                f"chunk result {entry!r} does not answer task root {task[0]}"
+            )
+    return results
 
 
 class _MetricCollector(Observer):
@@ -92,20 +262,22 @@ class _MetricCollector(Observer):
 
     def __init__(self) -> None:
         self.counts: Dict[Tuple[str, Tuple[Tuple[str, object], ...]], int] = {}
-        self.observations: List[Tuple[str, float]] = []
+        self.observations: List[
+            Tuple[str, Tuple[Tuple[str, object], ...], float]
+        ] = []
 
     def count(self, name: str, n: int = 1, **labels: object) -> None:
         key = (name, tuple(sorted(labels.items())))
         self.counts[key] = self.counts.get(key, 0) + n
 
     def observe(self, name: str, value: float, **labels: object) -> None:
-        self.observations.append((name, value))
+        self.observations.append((name, tuple(sorted(labels.items())), value))
 
     def replay_into(self, obs: Observer) -> None:
         for (name, labels), n in sorted(self.counts.items()):
             obs.count(name, n, **dict(labels))
-        for name, value in self.observations:
-            obs.observe(name, value)
+        for name, labels, value in self.observations:
+            obs.observe(name, value, **dict(labels))
 
     def merge(self, other: "_MetricCollector") -> None:
         for key, n in other.counts.items():
@@ -194,20 +366,13 @@ def _eval_tasks(aig_like, tasks, config, collector) -> List[Tuple[int, object, i
     return out
 
 
-def _eval_chunk(ref, tasks, config):
-    """Worker entry point: resolve the snapshot, evaluate one chunk."""
-    collector = _MetricCollector()
-    snapshot = _resolve_snapshot(ref, collector)
-    return _eval_tasks(snapshot, tasks, config, collector), collector
+def _enum_tasks(aig_like, tasks, config, collector) -> List[Tuple[int, object, int]]:
+    """Merge each harvested ``(root, f0, f1, c0_all, c1_all)`` task.
 
-
-def _enum_chunk(ref, tasks, config):
-    """Worker entry point for enumeration: merge harvested fanin cut
-    sets against the snapshot.
-
-    Each task is ``(root, f0, f1, c0_all, c1_all)`` as produced by
-    :meth:`~repro.cuts.manager.CutManager.enum_harvest`; the merge is
-    the byte-identical :meth:`merge_fanin_sets` the parent would run,
+    Like :func:`_eval_tasks`, runs identically against a live
+    :class:`Aig` (per-chunk in-parent fallback) or an
+    :class:`AigSnapshot` (worker side): the merge is the byte-identical
+    :meth:`~repro.cuts.manager.CutManager.merge_fanin_sets` either way,
     so the returned ``(root, cuts, pairs)`` triples replay exactly.
     Truth-table expansion memo hits are reported under worker-specific
     counter names — the memo is per-chunk here but global in a
@@ -215,10 +380,8 @@ def _enum_chunk(ref, tasks, config):
     """
     from ..cuts.manager import CutManager
 
-    collector = _MetricCollector()
-    snapshot = _resolve_snapshot(ref, collector)
-    cutman = CutManager(snapshot, k=config.cut_size, max_cuts=config.max_cuts)
-    out = []
+    cutman = CutManager(aig_like, k=config.cut_size, max_cuts=config.max_cuts)
+    out: List[Tuple[int, object, int]] = []
     for root, f0, f1, c0_all, c1_all in tasks:
         before = cutman.work
         cuts = cutman.merge_fanin_sets(root, f0, f1, c0_all, c1_all)
@@ -227,6 +390,31 @@ def _enum_chunk(ref, tasks, config):
         collector.count("worker_cut_tt_cache_hits_total", cutman.cache_hits)
     if cutman.cache_misses:
         collector.count("worker_cut_tt_cache_misses_total", cutman.cache_misses)
+    return out
+
+
+def _eval_chunk(ref, tasks, config, fault: Optional[str] = None):
+    """Worker entry point: resolve the snapshot, evaluate one chunk."""
+    if fault is not None:
+        _execute_fault(fault)
+    collector = _MetricCollector()
+    snapshot = _resolve_snapshot(ref, collector)
+    out = _eval_tasks(snapshot, tasks, config, collector)
+    if fault == "corrupt":
+        out = _corrupt_results(out)
+    return out, collector
+
+
+def _enum_chunk(ref, tasks, config, fault: Optional[str] = None):
+    """Worker entry point for enumeration: merge harvested fanin cut
+    sets against the snapshot."""
+    if fault is not None:
+        _execute_fault(fault)
+    collector = _MetricCollector()
+    snapshot = _resolve_snapshot(ref, collector)
+    out = _enum_tasks(snapshot, tasks, config, collector)
+    if fault == "corrupt":
+        out = _corrupt_results(out)
     return out, collector
 
 
@@ -381,6 +569,27 @@ def _ref_nbytes(ref) -> int:
     return n
 
 
+class _ChunkJob:
+    """One chunk of a stage fan-out, carrying its retry provenance.
+
+    ``index`` is the chunk's coordinate in the *initial* chunking (the
+    fault plan's and the quarantine list's coordinate system — halves
+    of a split chunk keep their parent's index).  ``ref`` overrides the
+    stage snapshot ref after a cache-miss refill.
+    """
+
+    __slots__ = ("index", "tasks", "attempts", "splits", "refills", "ref")
+
+    def __init__(self, index: int, tasks: List[tuple], attempts: int = 0,
+                 splits: int = 0, ref: Optional[tuple] = None):
+        self.index = index
+        self.tasks = tasks
+        self.attempts = attempts
+        self.splits = splits
+        self.refills = 0
+        self.ref = ref
+
+
 # ---------------------------------------------------------------------------
 # The executor
 # ---------------------------------------------------------------------------
@@ -421,6 +630,17 @@ class ProcessExecutor(SimulatedExecutor):
         self.cache_refills = 0
         self.eval_wall_seconds = 0.0
         self.enum_wall_seconds = 0.0
+        # Fault-tolerance bookkeeping (mirrored into the observer as
+        # pool_restarts_total / chunk_retries_total{stage} /
+        # chunk_timeouts_total / quarantined_chunks_total /
+        # chunk_fallback_total).
+        self.pool_restarts = 0
+        self.chunk_retries = 0
+        self.chunk_timeouts = 0
+        self.chunk_fallbacks = 0
+        self.quarantined: List[Tuple[str, int]] = []
+        self._fault_plan: Optional[FaultPlan] = None
+        self._fault_plan_spec: Optional[str] = None
 
     # -- pool management ----------------------------------------------
 
@@ -452,17 +672,66 @@ class ProcessExecutor(SimulatedExecutor):
                 self._warn_fallback(f"process pool unavailable ({exc})")
         return self._pool
 
-    def close(self) -> None:
+    def _discard_pool(self) -> None:
+        """Tear the pool down without waiting on its workers.
+
+        Used when the pool is known (or suspected) to be wedged or
+        broken: outstanding futures are cancelled, and any worker still
+        alive — e.g. one hung past its chunk deadline — is terminated
+        so neither this run nor interpreter shutdown blocks on it.
+        """
+        pool = self._pool
+        self._pool = None
+        if pool is None:
+            return
+        processes = getattr(pool, "_processes", None)
+        procs = list(processes.values()) if processes else []
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - defensive
+            pass
+        for proc in procs:
+            try:
+                if proc.is_alive():
+                    proc.terminate()
+            except Exception:  # pragma: no cover - already reaped
+                pass
+
+    def _restart_pool(self, config, why: str):
+        """Replace a dead/wedged pool, within the restart budget.
+
+        Returns the fresh pool, or None once the budget is spent — the
+        caller then degrades the remaining chunks in-parent (the pool
+        is *not* marked permanently broken: the next run gets a clean
+        slate via its own executor instance).
+        """
+        self._discard_pool()
+        budget = getattr(config, "pool_restart_budget", 2)
+        if self.pool_restarts >= budget:
+            self._warn_fallback(
+                f"pool restart budget ({budget}) exhausted after {why}"
+            )
+            return None
+        self.pool_restarts += 1
+        if self.obs.enabled:
+            self.obs.count("pool_restarts_total")
+        return self._ensure_pool()
+
+    def close(self, wait: bool = True) -> None:
         """Shut the worker pool down and release the shared-memory
-        base snapshot (idempotent)."""
-        if self._pool is not None:
+        base snapshot (idempotent).  ``wait=False`` (the ``__del__``
+        path) never joins workers, so a wedged worker cannot block
+        garbage collection or interpreter teardown."""
+        if not wait:
+            self._discard_pool()
+        elif self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
         self._shipper.release()
 
     def __del__(self):  # pragma: no cover - GC safety net
         try:
-            self.close()
+            self.close(wait=False)
         except Exception:
             pass
 
@@ -484,25 +753,164 @@ class ProcessExecutor(SimulatedExecutor):
             obs.count("snapshot_bytes_shipped_total", nbytes, stage=stage, kind=kind)
             obs.observe("snapshot_bytes", nbytes)
 
-    def _collect_chunks(self, pool, entry, ref, parts, config, collector, stage):
-        """Submit all chunks, fan results back in, refilling any worker
-        that missed its cached base snapshot."""
-        futures = [pool.submit(entry, ref, part, config) for part in parts]
+    def _get_fault_plan(self, config) -> Optional[FaultPlan]:
+        spec = getattr(config, "fault_plan", None) or \
+            os.environ.get("REPRO_FAULT_PLAN")
+        if spec != self._fault_plan_spec:
+            self._fault_plan_spec = spec
+            self._fault_plan = FaultPlan.parse(spec)
+        return self._fault_plan
+
+    def _degrade_chunk(self, job, fallback, collector) -> List[tuple]:
+        """Compute one chunk in-parent — the rest of the fan-out still
+        completes on worker cores."""
+        self.chunk_fallbacks += 1
+        if self.obs.enabled:
+            self.obs.count("chunk_fallback_total")
+        return fallback(job.tasks, collector)
+
+    def _record_failure(
+        self, job, retry, stage, fallback, collector, merged, max_retries
+    ) -> None:
+        """Route one failed chunk: retry with backoff while its budget
+        lasts, then split it in half, then quarantine and degrade."""
+        job.attempts += 1
+        if job.attempts <= max_retries:
+            self.chunk_retries += 1
+            if self.obs.enabled:
+                self.obs.count("chunk_retries_total", stage=stage)
+            retry.append(job)
+            return
+        if len(job.tasks) > 1 and job.splits < MAX_SPLIT_DEPTH:
+            mid = len(job.tasks) // 2
+            self.chunk_retries += 2
+            if self.obs.enabled:
+                self.obs.count("chunk_retries_total", 2, stage=stage)
+            for piece in (job.tasks[:mid], job.tasks[mid:]):
+                retry.append(
+                    _ChunkJob(job.index, piece, splits=job.splits + 1,
+                              ref=job.ref)
+                )
+            return
+        # Poison chunk: every retry and split exhausted.  Record the
+        # coordinates, surface them through the observer, and compute
+        # the chunk in-parent so the stage still completes exactly.
+        self.quarantined.append((stage, job.index))
+        if self.obs.enabled:
+            self.obs.count("quarantined_chunks_total")
+            self.obs.instant(
+                "chunk_quarantined", "fault", self.now,
+                stage=stage, chunk=job.index, tasks=len(job.tasks),
+            )
+        merged.extend(self._degrade_chunk(job, fallback, collector))
+
+    def _collect_chunks(
+        self, pool, entry, ref, parts, config, collector, stage, fallback
+    ):
+        """Submit all chunks and fan results back in, fault-tolerantly.
+
+        Failure handling is chunk-grained: a worker that misses its
+        cached base snapshot is refilled; a chunk that raises or
+        returns a corrupted result retries with capped exponential
+        backoff, splits on repeated failure, and is quarantined (and
+        computed in-parent via ``fallback``) as a last resort; a chunk
+        that outlives ``config.chunk_timeout_seconds`` degrades
+        in-parent immediately and the wedged pool is restarted; a
+        ``BrokenProcessPool`` restarts the pool (within
+        ``config.pool_restart_budget``) and resubmits the chunks that
+        died with it.  Every path reproduces the exact values a healthy
+        worker would have returned, keeping process mode byte-identical
+        to simulated mode under any fault.
+        """
         merged: List[tuple] = []
-        for part, future in zip(parts, futures):
-            try:
-                part_results, part_collector = future.result()
-            except SnapshotCacheMiss:
-                refill_ref, refill_bytes = self._shipper.refill_ref()
-                self._account_bytes(stage, "refill", refill_bytes)
-                self.cache_refills += 1
-                if self.obs.enabled:
-                    self.obs.count("worker_snapshot_cache_refills_total")
-                part_results, part_collector = pool.submit(
-                    entry, refill_ref, part, config
-                ).result()
-            merged.extend(part_results)
-            collector.merge(part_collector)
+        queue = deque(_ChunkJob(index, part) for index, part in enumerate(parts))
+        plan = self._get_fault_plan(config)
+        timeout = getattr(config, "chunk_timeout_seconds", None)
+        max_retries = getattr(config, "chunk_max_retries", 2)
+        while queue:
+            if pool is None:
+                while queue:
+                    merged.extend(
+                        self._degrade_chunk(queue.popleft(), fallback, collector)
+                    )
+                break
+            inflight: List[tuple] = []
+            pool_dead = False
+            wedged = False
+            while queue:
+                job = queue.popleft()
+                fault = plan.arm(stage, job.index) if plan is not None else None
+                try:
+                    future = pool.submit(
+                        entry, job.ref if job.ref is not None else ref,
+                        job.tasks, config, fault,
+                    )
+                except Exception:
+                    # The pool died between rounds (broken or shut
+                    # down): requeue this job and restart below.
+                    pool_dead = True
+                    queue.appendleft(job)
+                    break
+                inflight.append((job, future))
+            retry: List[_ChunkJob] = []
+            for job, future in inflight:
+                try:
+                    part_results, part_collector = future.result(timeout=timeout)
+                    _validate_chunk(job.tasks, part_results)
+                    merged.extend(part_results)
+                    collector.merge(part_collector)
+                except SnapshotCacheMiss:
+                    # Fresh worker without this run's base: resubmit
+                    # self-contained.  Not a failure — unless the
+                    # self-contained payload misses too.
+                    if job.refills >= 1:
+                        self._record_failure(
+                            job, retry, stage, fallback, collector,
+                            merged, max_retries,
+                        )
+                        continue
+                    refill_ref, refill_bytes = self._shipper.refill_ref()
+                    self._account_bytes(stage, "refill", refill_bytes)
+                    self.cache_refills += 1
+                    if self.obs.enabled:
+                        self.obs.count("worker_snapshot_cache_refills_total")
+                    job.ref = refill_ref
+                    job.refills += 1
+                    queue.append(job)
+                except _FuturesTimeout:
+                    # The worker is presumed wedged: only this chunk
+                    # degrades in-parent, and the pool is replaced so
+                    # the hung process cannot poison later stages.
+                    self.chunk_timeouts += 1
+                    if self.obs.enabled:
+                        self.obs.count("chunk_timeouts_total")
+                    wedged = True
+                    merged.extend(self._degrade_chunk(job, fallback, collector))
+                except _BrokenPool:
+                    pool_dead = True
+                    self._record_failure(
+                        job, retry, stage, fallback, collector, merged,
+                        max_retries,
+                    )
+                except Exception:
+                    # Worker-side raise (injected or real) or a
+                    # corrupted result list caught by the validator.
+                    self._record_failure(
+                        job, retry, stage, fallback, collector, merged,
+                        max_retries,
+                    )
+            if pool_dead or wedged:
+                why = "a broken pool" if pool_dead else "a timed-out chunk"
+                pool = self._restart_pool(config, why)
+            if retry:
+                attempts = max(job.attempts for job in retry)
+                if attempts > 0:
+                    time.sleep(min(
+                        RETRY_BACKOFF_MAX,
+                        RETRY_BACKOFF_BASE
+                        * (2 ** min(attempts, RETRY_BACKOFF_CAP_EXP)),
+                    ))
+                queue.extend(retry)
         return merged
 
     def _chunk(self, tasks: List[tuple]) -> List[List[tuple]]:
@@ -518,6 +926,15 @@ class ProcessExecutor(SimulatedExecutor):
         replay stores each returned candidate into ``ctx.prep_info``
         exactly as the simulated eval operator would.
         """
+        try:
+            return self._run_eval_fanout(name, items, ctx)
+        except BaseException:
+            # An exception escaping the stage must not leak the base
+            # snapshot's shared-memory segment.
+            self._shipper.release()
+            raise
+
+    def _run_eval_fanout(self, name: str, items: Sequence[int], ctx) -> StageStats:
         start_wall = time.perf_counter()
         obs = self.obs
         # Harvest the enumerated cut sets (cache hits after the enum
@@ -537,11 +954,15 @@ class ProcessExecutor(SimulatedExecutor):
             self._account_bytes(name, kind, snapshot_bytes)
             try:
                 merged = self._collect_chunks(
-                    pool, _eval_chunk, ref, parts, ctx.config, collector, name
+                    pool, _eval_chunk, ref, parts, ctx.config, collector,
+                    name,
+                    lambda chunk, coll: _eval_tasks(
+                        ctx.aig, chunk, ctx.config, coll
+                    ),
                 )
             except (OSError, MemoryError) as exc:
-                # A dead pool (killed worker, fork limit) degrades to
-                # the in-parent path rather than losing the run.
+                # Last-resort whole-stage degradation (fork limit, OOM
+                # during submission) — per-chunk faults never get here.
                 self._warn_fallback(f"process fan-out failed ({exc})")
                 self._pool_broken = True
                 self.close()
@@ -604,6 +1025,13 @@ class ProcessExecutor(SimulatedExecutor):
         simulated run.  Ineligible roots (already-fresh entries, deep
         recursions on cold caches) run the real operator in replay.
         """
+        try:
+            return self._run_enum_fanout(name, items, ctx)
+        except BaseException:
+            self._shipper.release()
+            raise
+
+    def _run_enum_fanout(self, name: str, items: Sequence[int], ctx) -> StageStats:
         from ..core.operators import make_enum_operator
 
         enum_op = make_enum_operator(ctx)
@@ -632,7 +1060,10 @@ class ProcessExecutor(SimulatedExecutor):
         self._account_bytes(name, kind, snapshot_bytes)
         try:
             merged = self._collect_chunks(
-                pool, _enum_chunk, ref, parts, ctx.config, collector, name
+                pool, _enum_chunk, ref, parts, ctx.config, collector, name,
+                lambda chunk, coll: _enum_tasks(
+                    ctx.aig, chunk, ctx.config, coll
+                ),
             )
         except (OSError, MemoryError) as exc:
             self._warn_fallback(f"process fan-out failed ({exc})")

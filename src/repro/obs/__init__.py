@@ -10,7 +10,13 @@ Chrome trace-event JSON (Perfetto / ``chrome://tracing``), a JSONL
 event stream, or Prometheus text.
 """
 
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    Counter,
+    FAULT_TOLERANCE_COUNTERS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from .observer import NULL_OBSERVER, Observer, TracingObserver
 from .export import (
     chrome_trace_json,
@@ -29,6 +35,7 @@ from .tracer import Event, Span, SpanTracer
 
 __all__ = [
     "Counter",
+    "FAULT_TOLERANCE_COUNTERS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

@@ -1,0 +1,415 @@
+"""Chaos suite: fault-injected process fan-outs must recover exactly.
+
+The process executor's headline guarantee — byte-identity with the
+simulated executor — must survive every fault the ``REPRO_FAULT_PLAN``
+hook can inject worker-side:
+
+* ``kill``    — SIGKILL a worker mid-chunk (BrokenProcessPool):
+  bounded pool restart, dead chunks resubmitted;
+* ``hang``    — a worker sleeps past ``chunk_timeout_seconds``: only
+  the wedged chunk degrades in-parent, the pool is replaced;
+* ``raise``   — a worker raises: capped-backoff retry;
+* ``corrupt`` — a worker returns a mangled result list: caught by the
+  parent-side validator, then retried like a raise.
+
+Recovery must be *chunk-grained*: the rest of the fan-out completes on
+worker cores (``chunk_fallback_total`` stays far below the number of
+chunks shipped), and a persistent "poison" fault ends in quarantine +
+in-parent computation, never a wrong or lost result.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import time
+import warnings
+
+import pytest
+
+from repro.bench import mtm_like
+from repro.config import RewriteConfig, dacpara_config
+from repro.core import DACParaRewriter
+from repro.core.operators import StageContext
+from repro.cuts import CutManager
+from repro.errors import ConfigError
+from repro.galois import ProcessExecutor
+from repro.galois.procpool import (
+    ChunkResultError,
+    FaultPlan,
+    InjectedFault,
+    _MetricCollector,
+    _corrupt_results,
+    _validate_chunk,
+)
+from repro.library import get_library
+from repro.obs.metrics import FAULT_TOLERANCE_COUNTERS
+from repro.obs.observer import TracingObserver
+
+from test_procpool import aig_fingerprint, result_fingerprint
+
+JOBS = 2
+
+#: Hang faults sleep this long worker-side — longer than every chunk
+#: deadline used here, short enough that a missed terminate() cannot
+#: wedge the test session.
+HANG_SECONDS = "5.0"
+
+
+def _run(base, kind, config=None):
+    aig = copy.deepcopy(base)
+    obs = TracingObserver()
+    engine = DACParaRewriter(
+        config=config or dacpara_config(workers=8),
+        executor_kind=kind, jobs=JOBS, observer=obs,
+    )
+    result = engine.run(aig)
+    return result, aig, obs
+
+
+def _counters(obs):
+    return obs.metrics.snapshot()["counters"]
+
+
+def _counter(obs, name):
+    """Sum a counter over all of its label sets."""
+    return sum(
+        v for k, v in _counters(obs).items() if k.split("{")[0] == name
+    )
+
+
+def _total_chunks(obs):
+    """Chunks shipped across every fan-out stage of a run."""
+    return sum(
+        span.args.get("chunks", 0)
+        for span in obs.tracer.spans
+        if span.name in ("eval_fanout", "enum_fanout")
+    )
+
+
+class TestChaosMatrix:
+    """Byte-identity to simulated mode under each injected fault."""
+
+    BASE = staticmethod(lambda: mtm_like(num_pis=20, num_nodes=500, seed=5))
+
+    @pytest.mark.parametrize("mode,stage", [
+        ("raise", "eval"),
+        ("raise", "enum"),
+        ("corrupt", "eval"),
+        ("corrupt", "enum"),
+        ("kill", "eval"),
+        ("hang", "eval"),
+    ])
+    def test_byte_identity_under_fault(self, mode, stage, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_HANG_SECONDS", HANG_SECONDS)
+        base = self.BASE()
+        r_sim, a_sim, _ = _run(base, "simulated")
+        cfg = dataclasses.replace(
+            dacpara_config(workers=8),
+            fault_plan=f"{mode}@{stage}:0",
+            chunk_timeout_seconds=1.0,
+        )
+        r_proc, a_proc, obs = _run(base, "process", config=cfg)
+        assert result_fingerprint(r_proc) == result_fingerprint(r_sim)
+        assert aig_fingerprint(a_proc) == aig_fingerprint(a_sim)
+        # Chunk-grained recovery: at most the one faulted chunk fell
+        # back in-parent; everything else completed on worker cores.
+        fallbacks = _counter(obs, "chunk_fallback_total")
+        assert fallbacks <= 1
+        assert fallbacks < _total_chunks(obs)
+        if mode in ("raise", "corrupt"):
+            assert _counter(obs, "chunk_retries_total") >= 1
+            assert fallbacks == 0
+        if mode == "kill":
+            restarts = _counter(obs, "pool_restarts_total")
+            assert 1 <= restarts <= cfg.pool_restart_budget
+        if mode == "hang":
+            assert _counter(obs, "chunk_timeouts_total") >= 1
+            assert fallbacks == 1
+
+    def test_fault_counters_stay_zero_on_healthy_run(self):
+        _, _, obs = _run(self.BASE(), "process")
+        for name in FAULT_TOLERANCE_COUNTERS:
+            assert _counter(obs, name) == 0
+
+
+class TestPoolCrashRecovery:
+    """A killed worker mid-stage: the stage completes, the pool
+    restarts within budget, and the output equals simulated mode."""
+
+    def test_stage_completes_with_bounded_restarts(self):
+        base = mtm_like(num_pis=24, num_nodes=600, seed=0)
+        r_sim, a_sim, _ = _run(base, "simulated")
+        cfg = dataclasses.replace(
+            dacpara_config(workers=8),
+            fault_plan="kill@eval:0",
+            pool_restart_budget=2,
+        )
+        r_proc, a_proc, obs = _run(base, "process", config=cfg)
+        assert result_fingerprint(r_proc) == result_fingerprint(r_sim)
+        assert aig_fingerprint(a_proc) == aig_fingerprint(a_sim)
+        restarts = _counter(obs, "pool_restarts_total")
+        assert 1 <= restarts <= cfg.pool_restart_budget
+
+    def test_restart_budget_exhaustion_degrades_not_fails(self):
+        """Kills on every restart burn the budget; the run must still
+        finish byte-identically via in-parent degradation."""
+        base = mtm_like(num_pis=16, num_nodes=300, seed=21)
+        # Same logical worker count as the faulted run: the simulated
+        # timeline (and so the makespan) depends on it.
+        r_sim, a_sim, _ = _run(base, "simulated", config=dacpara_config(workers=4))
+        cfg = dataclasses.replace(
+            dacpara_config(workers=4),
+            # Enough fires to kill the fresh pool after each restart.
+            fault_plan="kill@eval:*:8",
+            pool_restart_budget=1,
+            chunk_max_retries=1,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            r_proc, a_proc, obs = _run(base, "process", config=cfg)
+        assert result_fingerprint(r_proc) == result_fingerprint(r_sim)
+        assert aig_fingerprint(a_proc) == aig_fingerprint(a_sim)
+        assert _counter(obs, "pool_restarts_total") == 1
+        assert _counter(obs, "chunk_fallback_total") >= 1
+
+
+class TestTimeoutDeadline:
+    """A hung chunk resolves within 2 x chunk_timeout_seconds."""
+
+    TIMEOUT = 0.75
+
+    def _eval_stage(self, aig, config):
+        a = copy.deepcopy(aig)
+        cutman = CutManager(a, k=4, max_cuts=12)
+        live = a.topo_ands()
+        for root in live:
+            cutman.fresh_cuts(root)
+        ctx = StageContext(
+            aig=a, cutman=cutman, library=get_library(), config=config
+        )
+        ex = ProcessExecutor(4, jobs=JOBS)
+        try:
+            t0 = time.perf_counter()
+            ex.run_eval("eval", live, ctx)
+            wall = time.perf_counter() - t0
+        finally:
+            ex.close(wait=False)  # never join a possibly-wedged worker
+        stored = {
+            v: (c.gain, c.canon_tt)
+            for v in live
+            for c in (ctx.prep_info.get(v),)
+            if c is not None
+        }
+        return wall, stored, ex
+
+    def test_hung_chunk_resolves_within_deadline(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_HANG_SECONDS", HANG_SECONDS)
+        aig = mtm_like(num_pis=16, num_nodes=300, seed=7)
+        healthy_wall, healthy_stored, _ = self._eval_stage(
+            aig, dacpara_config(workers=4)
+        )
+        cfg = dataclasses.replace(
+            dacpara_config(workers=4),
+            fault_plan="hang@eval:0",
+            chunk_timeout_seconds=self.TIMEOUT,
+        )
+        degraded_wall, degraded_stored, ex = self._eval_stage(aig, cfg)
+        assert ex.chunk_timeouts >= 1
+        assert ex.chunk_fallbacks == 1
+        assert degraded_stored == healthy_stored
+        # The injected hang sleeps far past the deadline; resolving the
+        # chunk must cost at most 2 x the deadline on top of the
+        # healthy stage (detection + in-parent recompute), i.e. the
+        # stage never waits out the hang itself.
+        assert degraded_wall < healthy_wall + 2 * self.TIMEOUT
+
+    def test_timeout_disabled_by_none(self):
+        cfg = dataclasses.replace(
+            dacpara_config(), chunk_timeout_seconds=None
+        )
+        assert cfg.chunk_timeout_seconds is None  # valid config
+
+
+class TestPoisonQuarantine:
+    """A chunk that fails on every attempt is split, quarantined and
+    computed in-parent — and the result is still byte-identical."""
+
+    def test_persistent_fault_ends_in_quarantine(self):
+        base = mtm_like(num_pis=16, num_nodes=220, seed=9)
+        r_sim, a_sim, _ = _run(base, "simulated", config=dacpara_config(workers=4))
+        cfg = dataclasses.replace(
+            dacpara_config(workers=4),
+            fault_plan="raise@eval:0:100000",
+            chunk_max_retries=1,
+        )
+        r_proc, a_proc, obs = _run(base, "process", config=cfg)
+        assert result_fingerprint(r_proc) == result_fingerprint(r_sim)
+        assert aig_fingerprint(a_proc) == aig_fingerprint(a_sim)
+        assert _counter(obs, "quarantined_chunks_total") >= 1
+        assert _counter(obs, "chunk_fallback_total") >= 1
+        assert _counter(obs, "chunk_retries_total") >= 2
+        # The quarantine list carries (stage, chunk) coordinates and is
+        # surfaced as instant events too.
+        names = {e.name for e in obs.tracer.events}
+        assert "chunk_quarantined" in names
+
+
+class TestFaultPlan:
+    def test_parse_and_arm_consume_fires(self):
+        plan = FaultPlan.parse("raise@eval:0; kill@enum:*:2")
+        assert plan.arm("eval", 0) == "raise"
+        assert plan.arm("eval", 0) is None  # single fire consumed
+        assert plan.arm("enum", 3) == "kill"
+        assert plan.arm("enum", 1) == "kill"
+        assert plan.arm("enum", 1) is None
+        assert plan.arm("replace", 0) is None
+
+    def test_wildcard_stage(self):
+        plan = FaultPlan.parse("hang@*:1")
+        assert plan.arm("eval", 0) is None
+        assert plan.arm("enum", 1) == "hang"
+
+    def test_empty_and_invalid_specs(self):
+        assert FaultPlan.parse(None) is None
+        assert FaultPlan.parse("  ") is None
+        with pytest.raises(ValueError):
+            FaultPlan.parse("explode@eval:0")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("raise@eval")
+        with pytest.raises(ConfigError):
+            RewriteConfig(fault_plan="explode@eval:0")
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            RewriteConfig(chunk_timeout_seconds=0.0)
+        with pytest.raises(ConfigError):
+            RewriteConfig(chunk_max_retries=-1)
+        with pytest.raises(ConfigError):
+            RewriteConfig(pool_restart_budget=-1)
+        cfg = RewriteConfig(
+            chunk_timeout_seconds=1.5, chunk_max_retries=0,
+            pool_restart_budget=0, fault_plan="raise@eval:0",
+        )
+        assert cfg.chunk_timeout_seconds == 1.5
+
+
+class TestChunkValidator:
+    def test_accepts_aligned_results(self):
+        tasks = [(3, ()), (5, ())]
+        results = [(3, None, 1), (5, "cand", 2)]
+        assert _validate_chunk(tasks, results) is results
+
+    def test_rejects_wrong_length_and_roots(self):
+        tasks = [(3, ()), (5, ())]
+        with pytest.raises(ChunkResultError):
+            _validate_chunk(tasks, [(3, None, 1)])
+        with pytest.raises(ChunkResultError):
+            _validate_chunk(tasks, [(3, None, 1), (6, None, 1)])
+        with pytest.raises(ChunkResultError):
+            _validate_chunk(tasks, [(3, None, 1), (5, None)])
+        with pytest.raises(ChunkResultError):
+            _validate_chunk(tasks, "garbage")
+
+    def test_corrupt_fault_is_always_detectable(self):
+        tasks = [(3, ()), (5, ()), (9, ())]
+        clean = [(3, None, 1), (5, None, 1), (9, None, 2)]
+        with pytest.raises(ChunkResultError):
+            _validate_chunk(tasks, _corrupt_results(list(clean)))
+        with pytest.raises(ChunkResultError):
+            _validate_chunk([(3, ())], _corrupt_results([(3, None, 1)]))
+        with pytest.raises(ChunkResultError):
+            _validate_chunk([], _corrupt_results([]))
+
+
+class TestCollectorLabelReplay:
+    """Regression: labeled histogram observations recorded worker-side
+    must keep their labels when replayed into the parent observer."""
+
+    def test_observe_replays_labels(self):
+        collector = _MetricCollector()
+        collector.observe("latency", 1.0, stage="eval")
+        collector.observe("latency", 3.0, stage="enum")
+        collector.observe("latency", 7.0)
+        obs = TracingObserver()
+        collector.replay_into(obs)
+        snap = obs.metrics.snapshot()["histograms"]
+        assert snap["latency{stage=eval}"]["count"] == 1
+        assert snap["latency{stage=enum}"]["sum"] == 3.0
+        assert snap["latency"]["count"] == 1
+
+    def test_merge_preserves_labels(self):
+        a, b = _MetricCollector(), _MetricCollector()
+        a.observe("h", 1.0, stage="eval")
+        b.observe("h", 2.0, stage="eval")
+        a.merge(b)
+        obs = TracingObserver()
+        a.replay_into(obs)
+        snap = obs.metrics.snapshot()["histograms"]
+        assert snap["h{stage=eval}"]["count"] == 2
+
+
+class TestResourceSafety:
+    def test_close_nowait_is_safe_and_idempotent(self):
+        ex = ProcessExecutor(4, jobs=1)
+        assert ex._ensure_pool() is not None
+        ex.close(wait=False)
+        assert ex._pool is None
+        ex.close(wait=False)
+        ex.close()
+
+    def test_del_does_not_wait(self):
+        # __del__ must take the non-blocking path; a wedged worker
+        # would otherwise hang garbage collection forever.
+        ex = ProcessExecutor(4, jobs=1)
+        ex._ensure_pool()
+        ex.__del__()
+        assert ex._pool is None
+
+    def test_shipper_released_when_stage_raises(self, monkeypatch):
+        aig = mtm_like(num_pis=16, num_nodes=200, seed=8)
+        cutman = CutManager(aig, k=4, max_cuts=12)
+        live = aig.topo_ands()
+        for root in live:
+            cutman.fresh_cuts(root)
+        ctx = StageContext(
+            aig=aig, cutman=cutman, library=get_library(),
+            config=dacpara_config(),
+        )
+        ex = ProcessExecutor(4, jobs=1)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("mid-stage explosion")
+
+        monkeypatch.setattr(ProcessExecutor, "_collect_chunks", boom)
+        try:
+            with pytest.raises(RuntimeError, match="mid-stage explosion"):
+                ex.run_eval("eval", live, ctx)
+            # The base snapshot (and its shared-memory segment) must
+            # not survive the exception.
+            assert ex._shipper.base is None
+            assert ex._shipper._shared is None
+        finally:
+            ex.close()
+
+    def test_atexit_registry_tracks_shared_bases(self):
+        from repro.aig.snapshot import (
+            AigSnapshot,
+            SharedSnapshotBase,
+            _LIVE_SHARED_BASES,
+            _unlink_live_shared_bases,
+            shared_memory_available,
+        )
+
+        if not shared_memory_available():  # pragma: no cover
+            pytest.skip("no multiprocessing.shared_memory here")
+        aig = mtm_like(num_pis=8, num_nodes=50, seed=1)
+        base = SharedSnapshotBase(AigSnapshot.capture(aig))
+        assert base in _LIVE_SHARED_BASES
+        base.close()
+        assert base not in _LIVE_SHARED_BASES
+        # A leaked base is swept by the exit hook (idempotent close).
+        leaked = SharedSnapshotBase(AigSnapshot.capture(aig))
+        _unlink_live_shared_bases()
+        assert leaked._shm is None
+        assert leaked not in _LIVE_SHARED_BASES
