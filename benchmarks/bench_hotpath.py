@@ -7,7 +7,10 @@ can run the perf harness without installing the package:
     PYTHONPATH=src python benchmarks/bench_hotpath.py --quick --check
 
 ``--check`` makes the run a regression gate: it exits nonzero unless
-the NPN canon LUT beats the scalar exhaustive search.
+the NPN canon LUT beats the scalar exhaustive search.  ``--compare
+BASELINE.json`` additionally diffs every tracked metric against a
+saved report and fails past ``--threshold``; each run is appended to
+``BENCH_history.jsonl`` (``--no-history`` to skip).
 """
 
 import os

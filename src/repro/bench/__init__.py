@@ -14,6 +14,15 @@ from .generators import (
     voter_like,
 )
 from .hotpath import run_hotpath_bench, write_report
+from .regress import (
+    DEFAULT_THRESHOLD,
+    MetricDelta,
+    TRACKED_METRICS,
+    append_history,
+    compare_reports,
+    format_comparison,
+    load_history,
+)
 from .suite import (
     epfl_names,
     make_epfl,
@@ -45,4 +54,11 @@ __all__ = [
     "table3_suite",
     "run_hotpath_bench",
     "write_report",
+    "DEFAULT_THRESHOLD",
+    "MetricDelta",
+    "TRACKED_METRICS",
+    "append_history",
+    "compare_reports",
+    "format_comparison",
+    "load_history",
 ]

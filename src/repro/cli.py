@@ -11,9 +11,15 @@ Commands:
 
 Observability: ``rewrite`` accepts ``--trace out.trace.json`` (Chrome
 trace-event format — open in Perfetto), ``--events out.jsonl`` (JSONL
-stream), ``--metrics out.prom`` (Prometheus text) and ``--json``
-(machine-readable result on stdout).  Trace timestamps are simulated
-work units, so a re-run with the same inputs is byte-identical.
+stream), ``--metrics out.prom`` (Prometheus text), ``--json``
+(machine-readable result on stdout) and ``--progress`` (live status
+line on stderr).  Simulated-clock trace timestamps are work units, so
+a re-run with the same inputs is byte-identical; with ``--executor
+process`` the trace additionally carries real wall-clock tracks (one
+per pool-worker pid, in a separate Chrome-trace ``pid`` group so the
+two clock domains stay apart in one Perfetto view).  ``bench``
+appends each run to ``BENCH_history.jsonl`` and ``bench --compare
+BASELINE.json`` exits nonzero on regressions past ``--threshold``.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from .bench import epfl_names, make_epfl, make_mtm, mtm_names
 from .experiments import ENGINE_FACTORIES, make_engine
 from .galois import EXECUTOR_KINDS
 from .obs import (
+    ProgressLine,
     TracingObserver,
     chrome_trace_json,
     format_profile,
@@ -67,8 +74,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _make_observer(args: argparse.Namespace) -> Optional[TracingObserver]:
-    wants = args.trace or args.events or args.metrics or args.json
-    return TracingObserver() if wants else None
+    wants = (args.trace or args.events or args.metrics or args.json
+             or getattr(args, "progress", False))
+    if not wants:
+        return None
+    obs = TracingObserver()
+    if getattr(args, "progress", False):
+        obs.progress = ProgressLine()
+    return obs
 
 
 def _export_observation(args: argparse.Namespace, obs: Optional[TracingObserver],
@@ -78,10 +91,12 @@ def _export_observation(args: argparse.Namespace, obs: Optional[TracingObserver]
     if args.trace:
         with open(args.trace, "w") as fh:
             fh.write(chrome_trace_json(
-                obs.tracer, metadata={"engine": engine_name, "input": args.input}
+                obs.tracer,
+                metadata={"engine": engine_name, "input": args.input},
+                wall=obs.wall,
             ))
     if args.events:
-        write_jsonl(args.events, obs.tracer, obs.metrics)
+        write_jsonl(args.events, obs.tracer, obs.metrics, wall=obs.wall)
     if args.metrics:
         with open(args.metrics, "w") as fh:
             fh.write(prometheus_text(obs.metrics))
@@ -129,7 +144,11 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
             return 1
         engine.config = dataclasses.replace(engine.config, **config_updates)
     start = time.perf_counter()
-    result = engine.run(aig)
+    try:
+        result = engine.run(aig)
+    finally:
+        if obs is not None and obs.progress is not None:
+            obs.progress.close()
     wall = time.perf_counter() - start
     cec = None
     if original is not None:
@@ -168,10 +187,14 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     aig = read_aiger(args.input)
     obs = TracingObserver()
     engine = make_engine(args.engine, workers=args.workers, observer=obs)
+    if args.executor is not None and hasattr(engine, "executor_kind"):
+        engine.executor_kind = args.executor
+    if args.jobs is not None and hasattr(engine, "jobs"):
+        engine.jobs = args.jobs
     result = engine.run(aig)
     print(result.summary())
     stats = getattr(engine, "last_stats", None)
-    print(format_profile(obs.tracer, result.workers, stats=stats))
+    print(format_profile(obs.tracer, result.workers, stats=stats, wall=obs.wall))
     return 0
 
 
@@ -298,6 +321,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_rw.add_argument(
         "--json", action="store_true", help="machine-readable result on stdout"
     )
+    p_rw.add_argument(
+        "--progress", action="store_true",
+        help="live single-line status on stderr (passes/levels/chunks/"
+             "retries; terminal only)",
+    )
     p_rw.set_defaults(func=_cmd_rewrite)
 
     p_prof = sub.add_parser(
@@ -308,6 +336,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", default="dacpara", choices=sorted(ENGINE_FACTORIES)
     )
     p_prof.add_argument("--workers", type=int, default=None)
+    p_prof.add_argument(
+        "--executor", default=None, choices=sorted(EXECUTOR_KINDS),
+        help="execution backend; 'process' adds a pool wall-clock "
+             "breakdown to the profile",
+    )
+    p_prof.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="OS worker processes for --executor process",
+    )
     p_prof.set_defaults(func=_cmd_profile)
 
     p_flow = sub.add_parser("flow", help="run an optimization flow")
@@ -348,6 +385,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="exit nonzero unless the NPN LUT beats the scalar baseline",
     )
+    p_bench.add_argument(
+        "--compare", metavar="BASELINE.json", default=None,
+        help="diff this run against a baseline report; exits nonzero "
+             "when any tracked metric regresses past --threshold",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=None, metavar="F",
+        help="relative regression threshold for --compare "
+             "(default 0.15 = 15%%)",
+    )
+    p_bench.add_argument(
+        "--history", metavar="PATH", default="BENCH_history.jsonl",
+        help="JSONL file each run is appended to with its git revision "
+             "(default: BENCH_history.jsonl)",
+    )
+    p_bench.add_argument(
+        "--no-history", action="store_true",
+        help="skip appending this run to the history file",
+    )
     p_bench.set_defaults(func=_cmd_bench)
 
     p_shell = sub.add_parser("shell", help="interactive ABC-style shell")
@@ -357,9 +413,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench.hotpath import run_hotpath_bench, write_report
+    from .bench.regress import (
+        DEFAULT_THRESHOLD,
+        append_history,
+        compare_reports,
+        format_comparison,
+    )
 
     report = run_hotpath_bench(quick=args.quick)
     write_report(report, args.output)
+    if not args.no_history:
+        append_history(report, args.history)
     npn = report["npn_canon"]
     print(
         f"npn-canon: lut {npn['lut_lookups_per_second']:.0f}/s vs scalar "
@@ -406,6 +470,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.compare:
+        try:
+            with open(args.compare) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {args.compare!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+        threshold = (args.threshold if args.threshold is not None
+                     else DEFAULT_THRESHOLD)
+        deltas = compare_reports(report, baseline, threshold=threshold)
+        print(format_comparison(deltas, threshold))
+        if any(d.regressed for d in deltas):
+            return 3
     return 0
 
 

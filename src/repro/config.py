@@ -66,6 +66,15 @@ class RewriteConfig:
     # "mode@stage:chunk[:fires]" (mode = kill/hang/raise/corrupt)
     # separated by "," or ";"; None falls back to $REPRO_FAULT_PLAN.
     fault_plan: Optional[str] = None
+    # Worker-side wall-clock telemetry for the process executor: each
+    # chunk ships its phase spans back for the observer's WallTimeline.
+    # Only active when a tracing observer is attached (the no-op
+    # observer records nothing either way); False silences it even
+    # under tracing.
+    wall_telemetry: bool = True
+    # Chunk telemetry records the flight-recorder ring keeps for
+    # post-mortem dumps on quarantine / pool restart.
+    flight_recorder_size: int = 64
 
     def __post_init__(self) -> None:
         if self.cut_size != 4:
@@ -93,6 +102,8 @@ class RewriteConfig:
             raise ConfigError("chunk_max_retries must be >= 0")
         if self.pool_restart_budget < 0:
             raise ConfigError("pool_restart_budget must be >= 0")
+        if self.flight_recorder_size < 1:
+            raise ConfigError("flight_recorder_size must be >= 1")
         if self.fault_plan is not None:
             from .galois.procpool import FaultPlan
 

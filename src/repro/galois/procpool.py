@@ -48,6 +48,20 @@ merge is keyed by root and replayed through the simulated scheduler),
 results stay byte-identical to ``executor_kind="simulated"`` under any
 combination of faults.
 
+Observability is dual-clock.  The replayed simulated timeline stays
+byte-identical to ``executor_kind="simulated"``; *physical* time is
+captured separately: when a tracing observer is attached (and
+``config.wall_telemetry`` is on), every chunk carries a
+:class:`~repro.obs.wall.ChunkTelemetry` record back from its worker —
+wall-clock spans for snapshot patch and compute, merged parent-side
+with the submit/receive timestamps into per-pid tracks on the
+observer's :class:`~repro.obs.collect.WallTimeline`, along with
+``chunk_wall_seconds{stage,phase}`` histograms, pool occupancy gauges,
+fault instants and a bounded flight-recorder ring dumped on
+quarantine or pool restart.  With the no-op observer none of this is
+allocated: telemetry is side-channel only and results never depend on
+it.
+
 For testing those paths there is a fault-injection hook: the
 ``REPRO_FAULT_PLAN`` environment variable (or ``config.fault_plan``)
 holds entries ``mode@stage:chunk[:fires]`` separated by ``,`` or
@@ -85,6 +99,7 @@ from ..aig.snapshot import (
     attach_shared,
 )
 from ..obs.observer import Observer
+from ..obs.wall import ChunkTelemetry
 from .activity import Phase
 from .simsched import SimulatedExecutor
 from .stats import StageStats
@@ -393,29 +408,54 @@ def _enum_tasks(aig_like, tasks, config, collector) -> List[Tuple[int, object, i
     return out
 
 
-def _eval_chunk(ref, tasks, config, fault: Optional[str] = None):
+def _begin_telemetry(telemetry, tasks) -> Optional[ChunkTelemetry]:
+    """Open this chunk's wall-clock record (worker side), if the
+    parent asked for one.  ``telemetry`` is ``(stage, chunk, attempt)``
+    — the fan-out coordinates only the parent knows — or None when the
+    observer is the no-op (zero records are then ever allocated)."""
+    if telemetry is None:
+        return None
+    stage, chunk, attempt = telemetry
+    tele = ChunkTelemetry.begin(stage, chunk, attempt, tasks=len(tasks))
+    tele.enter("patch")
+    return tele
+
+
+def _eval_chunk(ref, tasks, config, fault: Optional[str] = None,
+                telemetry: Optional[tuple] = None):
     """Worker entry point: resolve the snapshot, evaluate one chunk."""
     if fault is not None:
         _execute_fault(fault)
+    tele = _begin_telemetry(telemetry, tasks)
     collector = _MetricCollector()
     snapshot = _resolve_snapshot(ref, collector)
+    if tele is not None:
+        tele.enter("compute")
     out = _eval_tasks(snapshot, tasks, config, collector)
     if fault == "corrupt":
         out = _corrupt_results(out)
-    return out, collector
+    if tele is not None:
+        tele.done(results=len(out))
+    return out, collector, tele
 
 
-def _enum_chunk(ref, tasks, config, fault: Optional[str] = None):
+def _enum_chunk(ref, tasks, config, fault: Optional[str] = None,
+                telemetry: Optional[tuple] = None):
     """Worker entry point for enumeration: merge harvested fanin cut
     sets against the snapshot."""
     if fault is not None:
         _execute_fault(fault)
+    tele = _begin_telemetry(telemetry, tasks)
     collector = _MetricCollector()
     snapshot = _resolve_snapshot(ref, collector)
+    if tele is not None:
+        tele.enter("compute")
     out = _enum_tasks(snapshot, tasks, config, collector)
     if fault == "corrupt":
         out = _corrupt_results(out)
-    return out, collector
+    if tele is not None:
+        tele.done(results=len(out))
+    return out, collector, tele
 
 
 def _warm_shared_state(config) -> None:
@@ -715,6 +755,11 @@ class ProcessExecutor(SimulatedExecutor):
         self.pool_restarts += 1
         if self.obs.enabled:
             self.obs.count("pool_restarts_total")
+            wall = self._wall_for(config)
+            if wall is not None:
+                wall.instant("pool_restart", why=why,
+                             restarts=self.pool_restarts)
+                wall.dump_flight("pool_restart", why=why)
         return self._ensure_pool()
 
     def close(self, wait: bool = True) -> None:
@@ -761,6 +806,44 @@ class ProcessExecutor(SimulatedExecutor):
             self._fault_plan = FaultPlan.parse(spec)
         return self._fault_plan
 
+    # -- wall-clock telemetry -----------------------------------------
+
+    def _wall_for(self, config):
+        """The observer's wall timeline, or None when telemetry is off
+        (no-op observer, or ``config.wall_telemetry`` disabled)."""
+        if not self.obs.enabled:
+            return None
+        if not getattr(config, "wall_telemetry", True):
+            return None
+        wall = getattr(self.obs, "wall", None)
+        if wall is not None:
+            wall.set_flight_size(getattr(config, "flight_recorder_size", 64))
+        return wall
+
+    def _wall_instant(self, wall, name: str, **args) -> None:
+        if wall is not None:
+            wall.instant(name, **args)
+
+    def record_wall(self, name: str, **args) -> None:
+        """Forward a wall-clock instant to the observer's timeline
+        (the live override of the simulated executor's no-op hook)."""
+        if self.obs.enabled:
+            wall = getattr(self.obs, "wall", None)
+            if wall is not None:
+                wall.instant(name, **args)
+
+    def _update_pool_gauges(self, wall) -> None:
+        """Occupancy/utilization gauges from worker-span overlap; last
+        write wins, so each fan-out refreshes the run-wide picture."""
+        if wall is None or not wall.chunks:
+            return
+        util = wall.utilization(self.jobs)
+        obs = self.obs
+        obs.gauge("pool_utilization", round(util["utilization"], 6))
+        obs.gauge("pool_peak_concurrency", util["peak_concurrency"])
+        obs.gauge("pool_busy_seconds", round(util["busy_seconds"], 6))
+        obs.gauge("pool_workers_seen", util["workers_seen"])
+
     def _degrade_chunk(self, job, fallback, collector) -> List[tuple]:
         """Compute one chunk in-parent — the rest of the fan-out still
         completes on worker cores."""
@@ -770,15 +853,21 @@ class ProcessExecutor(SimulatedExecutor):
         return fallback(job.tasks, collector)
 
     def _record_failure(
-        self, job, retry, stage, fallback, collector, merged, max_retries
+        self, job, retry, stage, fallback, collector, merged, max_retries,
+        wall=None,
     ) -> None:
         """Route one failed chunk: retry with backoff while its budget
         lasts, then split it in half, then quarantine and degrade."""
+        progress = self.obs.progress
         job.attempts += 1
         if job.attempts <= max_retries:
             self.chunk_retries += 1
             if self.obs.enabled:
                 self.obs.count("chunk_retries_total", stage=stage)
+            self._wall_instant(wall, "chunk_retry", stage=stage,
+                               chunk=job.index, attempt=job.attempts)
+            if progress is not None:
+                progress.bump("retries")
             retry.append(job)
             return
         if len(job.tasks) > 1 and job.splits < MAX_SPLIT_DEPTH:
@@ -786,6 +875,10 @@ class ProcessExecutor(SimulatedExecutor):
             self.chunk_retries += 2
             if self.obs.enabled:
                 self.obs.count("chunk_retries_total", 2, stage=stage)
+            self._wall_instant(wall, "chunk_split", stage=stage,
+                               chunk=job.index, depth=job.splits + 1)
+            if progress is not None:
+                progress.bump("retries", 2)
             for piece in (job.tasks[:mid], job.tasks[mid:]):
                 retry.append(
                     _ChunkJob(job.index, piece, splits=job.splits + 1,
@@ -802,6 +895,11 @@ class ProcessExecutor(SimulatedExecutor):
                 "chunk_quarantined", "fault", self.now,
                 stage=stage, chunk=job.index, tasks=len(job.tasks),
             )
+        self._wall_instant(wall, "chunk_quarantined", stage=stage,
+                           chunk=job.index, tasks=len(job.tasks))
+        if wall is not None:
+            wall.dump_flight("chunk_quarantined", stage=stage,
+                             chunk=job.index)
         merged.extend(self._degrade_chunk(job, fallback, collector))
 
     def _collect_chunks(
@@ -827,6 +925,8 @@ class ProcessExecutor(SimulatedExecutor):
         plan = self._get_fault_plan(config)
         timeout = getattr(config, "chunk_timeout_seconds", None)
         max_retries = getattr(config, "chunk_max_retries", 2)
+        wall = self._wall_for(config)
+        progress = self.obs.progress
         while queue:
             if pool is None:
                 while queue:
@@ -840,10 +940,14 @@ class ProcessExecutor(SimulatedExecutor):
             while queue:
                 job = queue.popleft()
                 fault = plan.arm(stage, job.index) if plan is not None else None
+                tele_args = (
+                    (stage, job.index, job.attempts) if wall is not None
+                    else None
+                )
                 try:
                     future = pool.submit(
                         entry, job.ref if job.ref is not None else ref,
-                        job.tasks, config, fault,
+                        job.tasks, config, fault, tele_args,
                     )
                 except Exception:
                     # The pool died between rounds (broken or shut
@@ -851,11 +955,22 @@ class ProcessExecutor(SimulatedExecutor):
                     pool_dead = True
                     queue.appendleft(job)
                     break
-                inflight.append((job, future))
+                inflight.append((job, future, time.time()))
             retry: List[_ChunkJob] = []
-            for job, future in inflight:
+            for job, future, submit_time in inflight:
                 try:
-                    part_results, part_collector = future.result(timeout=timeout)
+                    part_results, part_collector, part_tele = \
+                        future.result(timeout=timeout)
+                    if part_tele is not None and wall is not None:
+                        phases = wall.add_chunk(
+                            part_tele, submit_time, time.time()
+                        )
+                        obs = self.obs
+                        for phase, seconds in phases.items():
+                            obs.observe("chunk_wall_seconds", seconds,
+                                        stage=stage, phase=phase)
+                        if progress is not None:
+                            progress.bump("chunks")
                     _validate_chunk(job.tasks, part_results)
                     merged.extend(part_results)
                     collector.merge(part_collector)
@@ -866,7 +981,7 @@ class ProcessExecutor(SimulatedExecutor):
                     if job.refills >= 1:
                         self._record_failure(
                             job, retry, stage, fallback, collector,
-                            merged, max_retries,
+                            merged, max_retries, wall=wall,
                         )
                         continue
                     refill_ref, refill_bytes = self._shipper.refill_ref()
@@ -884,20 +999,23 @@ class ProcessExecutor(SimulatedExecutor):
                     self.chunk_timeouts += 1
                     if self.obs.enabled:
                         self.obs.count("chunk_timeouts_total")
+                    self._wall_instant(wall, "chunk_timeout", stage=stage,
+                                       chunk=job.index,
+                                       deadline_seconds=timeout)
                     wedged = True
                     merged.extend(self._degrade_chunk(job, fallback, collector))
                 except _BrokenPool:
                     pool_dead = True
                     self._record_failure(
                         job, retry, stage, fallback, collector, merged,
-                        max_retries,
+                        max_retries, wall=wall,
                     )
                 except Exception:
                     # Worker-side raise (injected or real) or a
                     # corrupted result list caught by the validator.
                     self._record_failure(
                         job, retry, stage, fallback, collector, merged,
-                        max_retries,
+                        max_retries, wall=wall,
                     )
             if pool_dead or wedged:
                 why = "a broken pool" if pool_dead else "a timed-out chunk"
@@ -936,6 +1054,7 @@ class ProcessExecutor(SimulatedExecutor):
 
     def _run_eval_fanout(self, name: str, items: Sequence[int], ctx) -> StageStats:
         start_wall = time.perf_counter()
+        start_time = time.time()
         obs = self.obs
         # Harvest the enumerated cut sets (cache hits after the enum
         # stage barrier) — workers must see these, not a re-enumeration.
@@ -977,6 +1096,14 @@ class ProcessExecutor(SimulatedExecutor):
         if obs.enabled:
             collector.replay_into(obs)
             obs.observe("eval_fanout_wall_seconds", fanout_wall)
+            wall = self._wall_for(ctx.config)
+            if wall is not None and chunks:
+                wall.parent_span(
+                    "eval_fanout", start_time, time.time(),
+                    stage=name, nodes=len(items), chunks=chunks,
+                    jobs=self.jobs,
+                )
+                self._update_pool_gauges(wall)
 
         # Replay through the simulated scheduler: identical costs on
         # identical logical workers reconstruct the simulated timeline,
@@ -1051,6 +1178,7 @@ class ProcessExecutor(SimulatedExecutor):
             return self.run(name, items, enum_op)
 
         start_wall = time.perf_counter()
+        start_time = time.time()
         obs = self.obs
         _warm_shared_state(ctx.config)
         collector = _MetricCollector()
@@ -1077,6 +1205,14 @@ class ProcessExecutor(SimulatedExecutor):
         if obs.enabled:
             collector.replay_into(obs)
             obs.observe("enum_fanout_wall_seconds", fanout_wall)
+            wall = self._wall_for(ctx.config)
+            if wall is not None:
+                wall.parent_span(
+                    "enum_fanout", start_time, time.time(),
+                    stage=name, nodes=len(items), chunks=len(parts),
+                    jobs=self.jobs,
+                )
+                self._update_pool_gauges(wall)
 
         def replay_operator(root: int):
             if aig.is_dead(root):

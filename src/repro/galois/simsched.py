@@ -95,6 +95,21 @@ class SimulatedExecutor:
         """Release executor resources (no-op here; the process-pool
         executor overrides this to shut its worker pool down)."""
 
+    @property
+    def wall(self):
+        """The attached observer's wall-clock timeline (None when
+        tracing is off).  The simulated executor never records into it
+        — its clock is work units by design — but exposing the hook
+        here keeps engine code executor-agnostic; only executors with
+        a physical side (:class:`~repro.galois.procpool.ProcessExecutor`)
+        populate it."""
+        return getattr(self.obs, "wall", None)
+
+    def record_wall(self, name: str, **args) -> None:
+        """Wall-clock instant hook: a no-op on the simulated clock
+        (see :attr:`wall`); the process executor forwards these to the
+        observer's timeline."""
+
     def run(self, name: str, items: Sequence, operator: Operator) -> StageStats:
         """Execute ``operator(item)`` for every item; returns stage stats."""
         start_wall = time.perf_counter()

@@ -68,6 +68,17 @@ class ThreadedExecutor:
     def close(self) -> None:
         """No pooled resources to release (threads are per-stage)."""
 
+    @property
+    def wall(self):
+        """The attached observer's wall-clock timeline (None when
+        tracing is off).  The threaded executor records nothing into
+        it — GIL-serialized wall time would only mislead — but the
+        hook keeps it interface-compatible with the process executor."""
+        return getattr(self.obs, "wall", None)
+
+    def record_wall(self, name: str, **args) -> None:
+        """Wall-clock instant hook: a no-op here (see :attr:`wall`)."""
+
     def run(self, name: str, items: Sequence, operator: Operator) -> StageStats:
         """Execute ``operator(item)`` on real threads; returns stats."""
         start_wall = time.perf_counter()

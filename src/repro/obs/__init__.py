@@ -5,11 +5,23 @@ the engine drivers; by default it is the shared no-op
 :data:`NULL_OBSERVER` (zero overhead), and a :class:`TracingObserver`
 turns the same hooks into a hierarchical span trace (run → pass →
 worklist → stage → activity, timestamped in deterministic simulated
-work units) plus a metrics registry.  Exporters serialize either into
-Chrome trace-event JSON (Perfetto / ``chrome://tracing``), a JSONL
-event stream, or Prometheus text.
+work units) plus a metrics registry.  A second, physical clock domain
+rides alongside: pool workers record wall-clock
+:class:`ChunkTelemetry` spans (:mod:`repro.obs.wall`) that the parent
+merges into a per-pid :class:`WallTimeline` (:mod:`repro.obs.collect`)
+with fault instants, occupancy analysis and a bounded flight-recorder
+ring.  Exporters serialize everything into Chrome trace-event JSON
+(Perfetto / ``chrome://tracing`` — simulated and wall clocks as
+separate process groups), a JSONL event stream, or Prometheus text.
 """
 
+from .collect import (
+    FLIGHT_RECORDER_SIZE,
+    ProgressLine,
+    WallEvent,
+    WallSpan,
+    WallTimeline,
+)
 from .metrics import (
     Counter,
     FAULT_TOLERANCE_COUNTERS,
@@ -23,6 +35,7 @@ from .export import (
     jsonl_lines,
     prometheus_text,
     to_chrome_trace,
+    wall_trace_events,
     write_jsonl,
 )
 from .profile import (
@@ -30,27 +43,38 @@ from .profile import (
     level_breakdown,
     stage_breakdown,
     stage_breakdown_from_tracer,
+    wall_breakdown,
 )
 from .tracer import Event, Span, SpanTracer
+from .wall import CHUNK_PHASES, ChunkTelemetry
 
 __all__ = [
+    "CHUNK_PHASES",
+    "ChunkTelemetry",
     "Counter",
     "FAULT_TOLERANCE_COUNTERS",
+    "FLIGHT_RECORDER_SIZE",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_OBSERVER",
     "Observer",
+    "ProgressLine",
     "TracingObserver",
+    "WallEvent",
+    "WallSpan",
+    "WallTimeline",
     "chrome_trace_json",
     "jsonl_lines",
     "prometheus_text",
     "to_chrome_trace",
+    "wall_trace_events",
     "write_jsonl",
     "format_profile",
     "level_breakdown",
     "stage_breakdown",
     "stage_breakdown_from_tracer",
+    "wall_breakdown",
     "Event",
     "Span",
     "SpanTracer",

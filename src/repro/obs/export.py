@@ -1,12 +1,21 @@
 """Exporters for the observability layer.
 
-Three formats, all deterministic (no wall-clock, stable key order):
+Three formats, all with stable key order:
 
 * **Chrome trace-event JSON** — load in Perfetto or ``chrome://tracing``
   to *see* per-level barrier idle time and stage overlap.  Timestamps
-  are simulated work units interpreted as microseconds.
-* **JSONL** — one event per line, for ad-hoc ``jq``/pandas analysis.
+  are simulated work units interpreted as microseconds; with a
+  populated :class:`~repro.obs.collect.WallTimeline` the trace gains a
+  second process group per worker pid carrying real wall-clock spans,
+  so one Perfetto view shows both clock domains (kept apart via
+  separate trace ``pid``\\ s — they must never share an axis).
+* **JSONL** — one event per line, for ad-hoc ``jq``/pandas analysis
+  (wall spans, fault instants and flight-recorder dumps included).
 * **Prometheus text** — the metrics registry in exposition format.
+
+The simulated half of every export is deterministic (no wall-clock
+enters it); the wall half is honest physical time and varies run to
+run by construction.
 """
 
 from __future__ import annotations
@@ -14,8 +23,13 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterator, List, Optional
 
+from .collect import WallTimeline
 from .metrics import MetricsRegistry
 from .tracer import SpanTracer
+
+#: Chrome-trace ``pid`` of the simulated-clock process group.  Wall
+#: tracks use real OS pids, which are never 0.
+SIM_CLOCK_PID = 0
 
 
 def _dumps(obj: object) -> str:
@@ -26,18 +40,76 @@ def _dumps(obj: object) -> str:
 # Chrome trace-event format
 
 
-def to_chrome_trace(
-    tracer: SpanTracer, metadata: Optional[Dict[str, object]] = None
-) -> Dict[str, object]:
-    """The trace as a Chrome/Perfetto ``traceEvents`` object."""
+def _wall_us(seconds: float) -> int:
+    """Wall seconds (relative to the timeline origin) as trace µs."""
+    return int(round(seconds * 1e6))
+
+
+def wall_trace_events(wall: WallTimeline) -> List[Dict[str, object]]:
+    """The wall-clock timeline as Chrome trace events.
+
+    One trace process group per pid: the parent's fan-out windows plus
+    one group per pool-worker pid, each labelled so Perfetto shows the
+    clock domain at a glance.  Timestamps are microseconds since the
+    timeline origin — a different axis from the simulated group's work
+    units, which is exactly why the pids differ.
+    """
     events: List[Dict[str, object]] = []
+    pids = sorted({s.pid for s in wall.spans} | {e.pid for e in wall.events})
+    for pid in pids:
+        label = ("wall-clock parent" if pid == wall.parent_pid
+                 else f"wall-clock worker {pid}")
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": label},
+        })
+    for span in wall.spans:
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": f"wall.{span.cat}",
+            "ts": _wall_us(span.start),
+            "dur": max(0, _wall_us(span.end) - _wall_us(span.start)),
+            "pid": span.pid,
+            "tid": 0,
+            "args": dict(span.args),
+        })
+    for event in wall.events:
+        events.append({
+            "ph": "i",
+            "s": "p",
+            "name": event.name,
+            "cat": f"wall.{event.cat}",
+            "ts": _wall_us(event.ts),
+            "pid": event.pid,
+            "tid": 0,
+            "args": dict(event.args),
+        })
+    return events
+
+
+def to_chrome_trace(
+    tracer: SpanTracer,
+    metadata: Optional[Dict[str, object]] = None,
+    wall: Optional[WallTimeline] = None,
+) -> Dict[str, object]:
+    """The trace as a Chrome/Perfetto ``traceEvents`` object.
+
+    A populated ``wall`` timeline contributes its own process groups
+    (real pids) next to the simulated-clock group (pid 0).
+    """
+    events: List[Dict[str, object]] = []
+    events.append({
+        "ph": "M", "name": "process_name", "pid": SIM_CLOCK_PID, "tid": 0,
+        "args": {"name": "simulated clock (work units)"},
+    })
     tracks = sorted({s.track for s in tracer.spans}
                     | {e.track for e in tracer.events})
     for track in tracks:
         label = "control" if track == 0 else f"worker-{track - 1}"
         events.append({
-            "ph": "M", "name": "thread_name", "pid": 0, "tid": track,
-            "args": {"name": label},
+            "ph": "M", "name": "thread_name", "pid": SIM_CLOCK_PID,
+            "tid": track, "args": {"name": label},
         })
     for span in tracer.spans:
         events.append({
@@ -46,7 +118,7 @@ def to_chrome_trace(
             "cat": span.cat,
             "ts": span.start,
             "dur": span.duration,
-            "pid": 0,
+            "pid": SIM_CLOCK_PID,
             "tid": span.track,
             "args": dict(span.args, sid=span.sid,
                          parent=-1 if span.parent is None else span.parent),
@@ -58,23 +130,35 @@ def to_chrome_trace(
             "name": event.name,
             "cat": event.cat,
             "ts": event.ts,
-            "pid": 0,
+            "pid": SIM_CLOCK_PID,
             "tid": event.track,
             "args": dict(event.args, sid=event.sid),
         })
+    other = dict(metadata or {}, clock="simulated-work-units")
+    if wall is not None and wall:
+        events.extend(wall_trace_events(wall))
+        other["wall_clock"] = {
+            "origin_unix_seconds": wall.t0,
+            "worker_pids": wall.worker_pids(),
+            "chunks": wall.chunks,
+            "flight_dumps": len(wall.dumps),
+        }
     doc: Dict[str, object] = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": dict(metadata or {}, clock="simulated-work-units"),
+        "otherData": other,
     }
     return doc
 
 
 def chrome_trace_json(
-    tracer: SpanTracer, metadata: Optional[Dict[str, object]] = None
+    tracer: SpanTracer,
+    metadata: Optional[Dict[str, object]] = None,
+    wall: Optional[WallTimeline] = None,
 ) -> str:
-    """Byte-reproducible serialization of :func:`to_chrome_trace`."""
-    return _dumps(to_chrome_trace(tracer, metadata))
+    """Serialization of :func:`to_chrome_trace` (byte-reproducible
+    when no wall timeline is attached)."""
+    return _dumps(to_chrome_trace(tracer, metadata, wall))
 
 
 # ---------------------------------------------------------------------------
@@ -82,9 +166,12 @@ def chrome_trace_json(
 
 
 def jsonl_lines(
-    tracer: SpanTracer, metrics: Optional[MetricsRegistry] = None
+    tracer: SpanTracer,
+    metrics: Optional[MetricsRegistry] = None,
+    wall: Optional[WallTimeline] = None,
 ) -> Iterator[str]:
-    """One JSON object per line: spans, instants, then metric values."""
+    """One JSON object per line: spans, instants, wall-clock records
+    and flight-recorder dumps, then metric values."""
     for span in tracer.spans:
         yield _dumps({
             "kind": "span", "sid": span.sid, "parent": span.parent,
@@ -97,15 +184,33 @@ def jsonl_lines(
             "cat": event.cat, "ts": event.ts, "track": event.track,
             "args": event.args,
         })
+    if wall is not None:
+        for wspan in wall.spans:
+            yield _dumps({
+                "kind": "wall_span", "name": wspan.name, "cat": wspan.cat,
+                "pid": wspan.pid, "start": wspan.start, "end": wspan.end,
+                "args": wspan.args,
+            })
+        for wevent in wall.events:
+            yield _dumps({
+                "kind": "wall_instant", "name": wevent.name,
+                "cat": wevent.cat, "pid": wevent.pid, "ts": wevent.ts,
+                "args": wevent.args,
+            })
+        for dump in wall.dumps:
+            yield _dumps({"kind": "flight_dump", **dump})
     if metrics is not None:
         yield _dumps({"kind": "metrics", "snapshot": metrics.snapshot()})
 
 
 def write_jsonl(
-    path: str, tracer: SpanTracer, metrics: Optional[MetricsRegistry] = None
+    path: str,
+    tracer: SpanTracer,
+    metrics: Optional[MetricsRegistry] = None,
+    wall: Optional[WallTimeline] = None,
 ) -> None:
     with open(path, "w") as fh:
-        for line in jsonl_lines(tracer, metrics):
+        for line in jsonl_lines(tracer, metrics, wall):
             fh.write(line + "\n")
 
 
@@ -113,10 +218,23 @@ def write_jsonl(
 # Prometheus exposition format
 
 
+def _prom_escape(value: object) -> str:
+    """Escape one label value per the exposition-format spec: inside
+    double quotes, backslash, double-quote and line-feed must be
+    written ``\\\\``, ``\\"`` and ``\\n`` — anything else (a stage name
+    containing a quote, say) would split or corrupt the sample line."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    inner = ",".join(f'{k}="{_prom_escape(v)}"' for k, v in labels)
     return f"{{{inner}}}"
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from .collect import FLIGHT_RECORDER_SIZE, ProgressLine, WallTimeline
 from .metrics import DEFAULT_BUCKETS, MetricsRegistry
 from .tracer import Span, SpanTracer
 
@@ -26,6 +27,15 @@ class Observer:
     """No-op base observer (the zero-overhead default)."""
 
     enabled = False
+
+    #: Wall-clock timeline of the run (the second clock domain).  None
+    #: on the no-op observer so instrumented sites can skip telemetry
+    #: entirely; a :class:`TracingObserver` owns a real
+    #: :class:`~repro.obs.collect.WallTimeline`.
+    wall: Optional[WallTimeline] = None
+
+    #: Live progress sink (``--progress``); None = silent.
+    progress: Optional[ProgressLine] = None
 
     # -- tracing hooks ---------------------------------------------------
 
@@ -65,15 +75,26 @@ class TracingObserver(Observer):
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, flight_size: int = FLIGHT_RECORDER_SIZE) -> None:
         self.tracer = SpanTracer()
         self.metrics = MetricsRegistry()
+        self.wall = WallTimeline(flight_size=flight_size)
+        self.progress: Optional[ProgressLine] = None
 
     def begin(self, name: str, cat: str, ts: int, **args: Any) -> Span:
+        if self.progress is not None:
+            if cat == "pass":
+                self.progress.set(**{"pass": args.get("index", 0) + 1})
+            elif cat == "worklist":
+                self.progress.set(
+                    level=args.get("level", "-"), nodes=args.get("size", "-"),
+                )
         return self.tracer.begin(name, cat, ts, **args)
 
     def end(self, span: Optional[Span], ts: int, **args: Any) -> None:
         if span is not None:
+            if self.progress is not None and span.cat == "stage":
+                self.progress.bump("stages")
             self.tracer.end(span, ts, **args)
 
     def activity(

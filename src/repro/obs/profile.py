@@ -9,9 +9,10 @@ the deep-circuit slowdown of ``sqrt``/``hyp``/``div``).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..galois.stats import ExecutionStats
+from .collect import WallTimeline
 from .tracer import SpanTracer
 
 
@@ -121,12 +122,51 @@ def level_breakdown(
     return headers, rows
 
 
+def wall_breakdown(wall: WallTimeline) -> Tuple[List[str], List[List[str]]]:
+    """Per-worker wall-clock busy time and chunk-phase split, from the
+    cross-process chunk telemetry (process executor only).
+
+    One row per pool-worker pid: chunks it processed, seconds spent in
+    each pipeline phase (receive = queue + request IPC, patch =
+    snapshot resolve, compute = eval/merge work, serialize = result
+    pickle + response IPC) and the busy share of the pool window.
+    """
+    headers = ["WorkerPid", "Chunks", "ReceiveS", "PatchS", "ComputeS",
+               "SerializeS", "BusyS"]
+    per_pid: Dict[int, Dict[str, float]] = {}
+    chunks: Dict[int, set] = {}
+    for span in wall.spans:
+        if span.cat != "chunk":
+            continue
+        acc = per_pid.setdefault(span.pid, {})
+        acc[span.name] = acc.get(span.name, 0.0) + span.duration
+        chunks.setdefault(span.pid, set()).add(
+            (span.args.get("stage"), span.args.get("chunk"),
+             span.args.get("attempt"))
+        )
+    rows = []
+    for pid in sorted(per_pid):
+        acc = per_pid[pid]
+        busy = sum(acc.values())
+        rows.append([
+            pid, len(chunks.get(pid, ())),
+            f"{acc.get('receive', 0.0):.4f}", f"{acc.get('patch', 0.0):.4f}",
+            f"{acc.get('compute', 0.0):.4f}",
+            f"{acc.get('serialize', 0.0):.4f}", f"{busy:.4f}",
+        ])
+    return headers, rows
+
+
 def format_profile(
-    tracer: SpanTracer, workers: int, stats: "ExecutionStats | None" = None
+    tracer: SpanTracer,
+    workers: int,
+    stats: "ExecutionStats | None" = None,
+    wall: Optional[WallTimeline] = None,
 ) -> str:
-    """Both breakdown tables as one printable report.  ``stats`` (when
+    """The breakdown tables as one printable report.  ``stats`` (when
     the caller holds the executor) gives exact stage numbers; otherwise
-    they are reconstructed from the trace's stage spans."""
+    they are reconstructed from the trace's stage spans.  A populated
+    ``wall`` timeline appends the per-worker wall-clock table."""
     from ..experiments.tables import format_table  # avoid an import cycle
 
     parts = ["== per-stage breakdown =="]
@@ -140,4 +180,15 @@ def format_profile(
         parts.append("")
         parts.append("== per-level worklist breakdown ==")
         parts.append(format_table(headers, rows))
+    if wall is not None and wall:
+        headers, rows = wall_breakdown(wall)
+        if rows:
+            util = wall.utilization()
+            parts.append("")
+            parts.append(
+                "== pool wall-clock breakdown "
+                f"(utilization {100.0 * util['utilization']:.1f}%, "
+                f"peak concurrency {util['peak_concurrency']:.0f}) =="
+            )
+            parts.append(format_table(headers, rows))
     return "\n".join(parts)

@@ -9,7 +9,11 @@ whatever control span is open when they are recorded.
 
 All timestamps are abstract work units (the currency of
 :mod:`repro.galois.simsched`), never wall-clock, which is what makes a
-trace byte-reproducible across runs with the same seed.
+trace byte-reproducible across runs with the same seed.  Physical time
+lives in a separate clock domain — the per-worker wall spans of
+:class:`repro.obs.collect.WallTimeline` — and the exporters keep the
+two apart via distinct Chrome-trace ``pid`` groups; nothing from that
+domain ever enters this tracer's timeline.
 """
 
 from __future__ import annotations

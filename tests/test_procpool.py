@@ -235,6 +235,7 @@ class TestCrossExecutorEquivalence:
         proc_only = {
             "eval_fanout_wall_seconds", "enum_fanout_wall_seconds",
             "snapshot_bytes", "snapshot_delta_ratio",
+            "chunk_wall_seconds",  # wall-clock telemetry: physical only
         }
         shared = set(snap_sim["histograms"]) & set(snap_proc["histograms"])
         assert set(snap_sim["histograms"]) - set(snap_proc["histograms"]) == set()
