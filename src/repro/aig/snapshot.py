@@ -62,7 +62,7 @@ class AigSnapshot:
     __slots__ = (
         "_kind", "_fanin0", "_fanin1", "_nref", "_level", "_stamp",
         "_life", "_pis", "_pos", "_num_ands", "generation", "name",
-        "epoch", "_strash", "_shm",
+        "epoch", "_strash", "_shm", "_columns",
     )
 
     def __init__(
@@ -96,6 +96,7 @@ class AigSnapshot:
         self.epoch = epoch
         self._strash: Optional[Dict[Tuple[int, int], int]] = None
         self._shm = None
+        self._columns: Optional[Tuple[list, ...]] = None
 
     @classmethod
     def capture(cls, aig: Aig) -> "AigSnapshot":
@@ -133,6 +134,7 @@ class AigSnapshot:
         ) = state
         self._strash = None
         self._shm = None
+        self._columns = None
 
     # -- deltas --------------------------------------------------------
 
@@ -253,6 +255,23 @@ class AigSnapshot:
         a, b = (f0, f1) if f0 < f1 else (f1, f0)
         var = self._ensure_strash().get((a, b), -1)
         return (var << 1) if var >= 0 else -1
+
+    def columns(self) -> Tuple[list, ...]:
+        """The per-node arrays as plain Python lists, in
+        :data:`_NODE_FIELDS` order (cached per snapshot).
+
+        Scalar indexing into lists is several times faster than numpy
+        scalar indexing; this is the primary store of the columnar
+        evaluation engine (:mod:`repro.rewrite.columnar`), converted
+        once per generation and shared across every chunk a worker
+        scores against this snapshot.
+        """
+        cols = self._columns
+        if cols is None:
+            cols = tuple(getattr(self, field).tolist()
+                         for field, _ in _NODE_FIELDS)
+            self._columns = cols
+        return cols
 
     def _ensure_strash(self) -> Dict[Tuple[int, int], int]:
         strash = self._strash

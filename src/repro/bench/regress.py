@@ -37,6 +37,9 @@ TRACKED_METRICS: Tuple[Tuple[str, str], ...] = (
     ("cut_enumeration.cuts_per_second", "higher"),
     ("eval_stage.simulated_nodes_per_second", "higher"),
     ("eval_stage.process_nodes_per_second", "higher"),
+    ("eval_stage.multijob_nodes_per_second", "higher"),
+    ("batch_eval.batch_nodes_per_second", "higher"),
+    ("batch_eval.speedup", "higher"),
     ("degraded_eval.overhead_ratio", "lower"),
     ("snapshot_delta.reduction", "higher"),
 )

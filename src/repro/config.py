@@ -66,6 +66,14 @@ class RewriteConfig:
     # "mode@stage:chunk[:fires]" (mode = kill/hang/raise/corrupt)
     # separated by "," or ";"; None falls back to $REPRO_FAULT_PLAN.
     fault_plan: Optional[str] = None
+    # Evaluation-stage engine: True scores whole chunks of candidates
+    # through the columnar batch kernels (numpy NPN/class gathers plus
+    # a deref-hoisted scoring loop over flat columns); False routes
+    # every candidate through the per-call scalar path — slower, kept
+    # as the differential oracle for the batch engine.  Results are
+    # byte-identical either way (pinned by tests/test_differential_
+    # fuzz.py across all four executors).
+    columnar_eval: bool = True
     # Worker-side wall-clock telemetry for the process executor: each
     # chunk ships its phase spans back for the observer's WallTimeline.
     # Only active when a tracing observer is attached (the no-op

@@ -69,12 +69,15 @@ class DACParaRewriter:
         executor = make_executor(
             self.executor_kind, config.workers, observer=obs, jobs=self.jobs
         )
-        # Native fan-out eval (process executor) recreates the library
-        # lookup inside workers via ``get_library()``; a custom library
-        # must stay on the generic operator path.
-        native_eval = (
-            getattr(executor, "supports_native_eval", False)
-            and self.library is get_library()
+        # Every executor now evaluates natively through the columnar
+        # batch engine (results replay byte-identically either way).
+        # Fan-out executors recreate the library lookup inside workers
+        # via ``get_library()``, so a custom library keeps those on the
+        # generic operator path; in-process executors score against
+        # ``self.library`` directly and take any library.
+        native_eval = getattr(executor, "supports_native_eval", False) and (
+            not getattr(executor, "native_eval_needs_default_library", True)
+            or self.library is get_library()
         )
         # Native fan-out enumeration needs no library, only the config
         # knob; results replay through the simulated scheduler either

@@ -103,6 +103,17 @@ class CutManager:
         self.invalidate(var)
         return self.cuts(var)
 
+    def eval_harvest(self, roots) -> List[Tuple[int, Tuple[Cut, ...]]]:
+        """The eval stage's task list: each root paired with its
+        (stamp-validated) enumerated cut set, in worklist order.
+
+        This is the hand-off format shared by every batch evaluation
+        path — process fan-out chunks and the in-process columnar
+        engine alike — so the cut sets workers score are exactly the
+        ones the enumeration stage installed.
+        """
+        return [(root, tuple(self.fresh_cuts(root))) for root in roots]
+
     def invalidate(self, var: int) -> None:
         """Drop the cache entry for one node."""
         self._cache.pop(var, None)

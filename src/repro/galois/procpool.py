@@ -363,11 +363,31 @@ def _eval_tasks(aig_like, tasks, config, collector) -> List[Tuple[int, object, i
     ``(root, candidate-or-None, work-units)`` triples; units are the
     same structure-evaluation counts the simulated eval operator
     charges, which is what lets the parent replay the timeline.
+
+    By default the chunk is scored through the columnar batch engine
+    (:mod:`repro.rewrite.columnar` — numpy kernels directly over the
+    snapshot arrays, no per-node method dispatch); ``config.
+    columnar_eval = False`` keeps the per-candidate scalar loop, the
+    batch engine's differential oracle.  Both produce byte-identical
+    triples and metrics.
     """
     from ..library import get_library
+
+    if config.columnar_eval:
+        from ..rewrite.columnar import eval_tasks_columnar
+
+        return eval_tasks_columnar(
+            aig_like, tasks, config, get_library(), observer=collector
+        )
+    return _eval_tasks_scalar(aig_like, tasks, config, collector, get_library())
+
+
+def _eval_tasks_scalar(
+    aig_like, tasks, config, collector, library
+) -> List[Tuple[int, object, int]]:
+    """The scalar evaluation loop (the columnar engine's oracle)."""
     from ..rewrite.base import WorkMeter, best_candidate_over_cuts
 
-    library = get_library()
     out: List[Tuple[int, object, int]] = []
     for root, cuts in tasks:
         if aig_like.is_dead(root):
@@ -647,6 +667,10 @@ class ProcessExecutor(SimulatedExecutor):
 
     supports_native_eval = True
     supports_native_enum = True
+    # Unlike the in-process batch path, fan-out workers recreate the
+    # structure lookup via ``get_library()``; a custom library must
+    # stay on the generic operator path (the driver checks this).
+    native_eval_needs_default_library = True
 
     def __init__(
         self,
@@ -1058,7 +1082,7 @@ class ProcessExecutor(SimulatedExecutor):
         obs = self.obs
         # Harvest the enumerated cut sets (cache hits after the enum
         # stage barrier) — workers must see these, not a re-enumeration.
-        tasks = [(root, tuple(ctx.cutman.fresh_cuts(root))) for root in items]
+        tasks = ctx.cutman.eval_harvest(items)
         collector = _MetricCollector()
         snapshot_bytes = 0
         chunks = 0

@@ -77,6 +77,14 @@ class SimulatedExecutor:
     stay visually separate in a trace.
     """
 
+    #: The driver may hand the eval stage to :meth:`run_eval` (the
+    #: columnar batch engine + replay) instead of the generic operator
+    #: path; results are byte-identical either way.  Unlike the process
+    #: executor, the batch engine here runs in-process against
+    #: ``ctx.library`` directly, so a custom library is fine.
+    supports_native_eval = True
+    native_eval_needs_default_library = False
+
     def __init__(
         self,
         workers: int,
@@ -109,6 +117,22 @@ class SimulatedExecutor:
         """Wall-clock instant hook: a no-op on the simulated clock
         (see :attr:`wall`); the process executor forwards these to the
         observer's timeline."""
+
+    def run_eval(self, name: str, items: Sequence[int], ctx) -> StageStats:
+        """The eval stage via the columnar batch kernels plus replay.
+
+        Candidates for the whole worklist are precomputed in one batch
+        (:func:`~repro.rewrite.columnar.eval_tasks_columnar`), then
+        replayed through :meth:`run` with the exact meter charges and
+        phase costs the scalar eval operator would have produced — the
+        eval stage is lock-free and activities commit in worklist
+        order, so stats, spans and stored candidates are byte-identical
+        to the operator path (which ``columnar_eval = False`` falls
+        back to).
+        """
+        from ..rewrite.columnar import run_eval_batched
+
+        return run_eval_batched(self, name, items, ctx)
 
     def run(self, name: str, items: Sequence, operator: Operator) -> StageStats:
         """Execute ``operator(item)`` for every item; returns stage stats."""

@@ -54,6 +54,14 @@ class ThreadedExecutor:
     serial (1-worker) timing.
     """
 
+    #: Same native-eval contract as the simulated executor: the batch
+    #: engine precomputes candidates in-process (against ``ctx.
+    #: library``), then the replay operators run on real threads.  The
+    #: eval stage takes no locks, so the per-root stores are exactly
+    #: what the scalar operator path would produce.
+    supports_native_eval = True
+    native_eval_needs_default_library = False
+
     def __init__(self, workers: int, observer: Optional[Observer] = None):
         if workers < 1:
             raise SchedulerError(f"need at least one worker, got {workers}")
@@ -78,6 +86,14 @@ class ThreadedExecutor:
 
     def record_wall(self, name: str, **args) -> None:
         """Wall-clock instant hook: a no-op here (see :attr:`wall`)."""
+
+    def run_eval(self, name: str, items: Sequence, ctx) -> StageStats:
+        """The eval stage via the columnar batch kernels plus replay
+        (see :meth:`SimulatedExecutor.run_eval <repro.galois.simsched.
+        SimulatedExecutor.run_eval>` — identical contract)."""
+        from ..rewrite.columnar import run_eval_batched
+
+        return run_eval_batched(self, name, items, ctx)
 
     def run(self, name: str, items: Sequence, operator: Operator) -> StageStats:
         """Execute ``operator(item)`` on real threads; returns stats."""

@@ -138,6 +138,27 @@ def batch_expand(tts, mappings):
     return (bits * pow2).sum(axis=1, dtype=np.uint32)
 
 
+#: Cut-width -> block-replication multiplier lifting an ``n``-variable
+#: table onto the identity positions of the 4-variable space: the
+#: ``expand`` map for ``src = (0..n-1), dst = (0, 1, 2, 3)`` reads
+#: source minterm ``k & (2**n - 1)`` for destination minterm ``k``,
+#: which is exactly a multiply by the repeating-block constant.
+_TT4_LIFT_MULT = (0xFFFF, 0x5555, 0x1111, 0x0101, 0x0001)
+
+
+def batch_lift_tt4(tts, sizes):
+    """Vectorized :func:`~repro.rewrite.base.cut_tt4`: lift many cut
+    functions (``sizes[i]``-variable tables, 0..4 vars) into the full
+    4-variable space in one numpy call."""
+    import numpy as np
+
+    tts = np.asarray(tts, dtype=np.uint32)
+    mult = np.asarray(_TT4_LIFT_MULT, dtype=np.uint32)[
+        np.asarray(sizes, dtype=np.int64)
+    ]
+    return tts * mult
+
+
 def shrink_to_support(tt: int, n: int) -> Tuple[int, Tuple[int, ...]]:
     """Drop unsupported variables; returns (table, kept variable indices)."""
     sup = support(tt, n)

@@ -25,6 +25,11 @@ def _report(**overrides):
         "eval_stage": {
             "simulated_nodes_per_second": 5_000.0,
             "process_nodes_per_second": 4_000.0,
+            "multijob_nodes_per_second": 6_000.0,
+        },
+        "batch_eval": {
+            "batch_nodes_per_second": 30_000.0,
+            "speedup": 5.0,
         },
         "degraded_eval": {"overhead_ratio": 1.2},
         "snapshot_delta": {"reduction": 20.0},
@@ -142,7 +147,10 @@ class TestBenchCompareCli:
         current["npn_canon"].update(
             scalar_lookups_per_second=10_000.0, lut_build_seconds=0.5)
         current["cut_enumeration"].update(cache_hits=1, cache_misses=2)
-        current["eval_stage"].update(jobs=1)
+        current["eval_stage"].update(jobs=1, multijob_jobs=2)
+        current["batch_eval"].update(
+            scalar_nodes_per_second=6_000.0, vectorized_fraction=1.0,
+            identical_results=True)
         current["degraded_eval"].update(
             degraded_seconds=0.2, healthy_seconds=0.15, chunk_retries=0,
             pool_restarts=0, chunk_fallbacks=0)

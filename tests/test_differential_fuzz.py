@@ -15,6 +15,14 @@ rewrite through every executor kind.  The oracle is layered:
   (:func:`repro.sat.check_equivalence_auto`; the fuzz circuits keep
   PI counts in exhaustive-simulation range so the check is exact).
 
+A second axis pins the **columnar batch engine** against its scalar
+oracle: full runs with ``columnar_eval`` on versus off must be
+byte-identical on every deterministic executor (simulated, serial,
+process), and on the threaded executor — whose full-run interleaving
+is scheduler-dependent — the eval *stage* in isolation must store the
+exact same candidates either way (it is lock-free, so per-root stores
+are interleaving-independent).
+
 The smoke tier (always on, fixed seeds — CI runs it per-push) covers
 ``SMOKE_SEEDS`` plus two pool-sized circuits that genuinely cross the
 ``MIN_FANOUT`` threshold.  The remaining ~200-seed sweep is marked
@@ -25,6 +33,7 @@ with ``pytest tests/test_differential_fuzz.py -m slow``.
 from __future__ import annotations
 
 import copy
+import dataclasses
 import random
 import warnings
 
@@ -34,6 +43,10 @@ from repro.aig.check import check
 from repro.bench import mtm_like
 from repro.config import dacpara_config
 from repro.core import DACParaRewriter
+from repro.core.operators import StageContext, make_eval_operator
+from repro.cuts import CutManager
+from repro.galois.threaded import ThreadedExecutor
+from repro.library import get_library
 from repro.obs.observer import TracingObserver
 from repro.sat import check_equivalence_auto
 
@@ -59,11 +72,12 @@ def fuzz_circuit(seed: int):
     )
 
 
-def _run(base, kind: str, workers: int = 5):
+def _run(base, kind: str, workers: int = 5, columnar: bool = True):
     aig = copy.deepcopy(base)
-    engine = DACParaRewriter(
-        config=dacpara_config(workers=workers), executor_kind=kind, jobs=2
+    config = dataclasses.replace(
+        dacpara_config(workers=workers), columnar_eval=columnar
     )
+    engine = DACParaRewriter(config=config, executor_kind=kind, jobs=2)
     with warnings.catch_warnings():
         warnings.simplefilter("error")  # a silent pool fallback is a bug
         result = engine.run(aig)
@@ -88,9 +102,56 @@ def check_differential(base) -> None:
         assert check_equivalence_auto(base, out).equivalent
 
 
+def _threaded_eval_stage_prep(base, columnar: bool):
+    """Run the eval stage alone on the threaded executor; returns the
+    per-root prep_info stores (interleaving-independent: the stage is
+    lock-free and each activity writes only its own root's slot)."""
+    aig = copy.deepcopy(base)
+    config = dataclasses.replace(
+        dacpara_config(workers=4), columnar_eval=columnar
+    )
+    cutman = CutManager(aig, k=config.cut_size, max_cuts=config.max_cuts)
+    live = aig.topo_ands()
+    for root in live:
+        cutman.fresh_cuts(root)
+    ctx = StageContext(
+        aig=aig, cutman=cutman, library=get_library(), config=config
+    )
+    ex = ThreadedExecutor(4)
+    if columnar:
+        ex.run_eval("eval", live, ctx)
+    else:
+        ex.run("eval", live, make_eval_operator(ctx))
+    return {v: ctx.prep_info.get(v) for v in live}
+
+
+def check_columnar_differential(base) -> None:
+    """Batch-kernel eval pinned byte-identical to the scalar oracle on
+    every executor kind."""
+    for kind, workers in (("simulated", 5), ("serial", 1), ("process", 5)):
+        r_col, a_col = _run(base, kind, workers=workers, columnar=True)
+        r_sca, a_sca = _run(base, kind, workers=workers, columnar=False)
+        assert result_fingerprint(r_col) == result_fingerprint(r_sca), kind
+        assert aig_fingerprint(a_col) == aig_fingerprint(a_sca), kind
+    assert _threaded_eval_stage_prep(base, columnar=True) == \
+        _threaded_eval_stage_prep(base, columnar=False)
+
+
 @pytest.mark.parametrize("seed", SMOKE_SEEDS)
 def test_fuzz_smoke(seed):
     check_differential(fuzz_circuit(seed))
+
+
+@pytest.mark.parametrize("seed", SMOKE_SEEDS[:6])
+def test_columnar_vs_scalar_smoke(seed):
+    check_columnar_differential(fuzz_circuit(seed))
+
+
+@pytest.mark.parametrize("seed", (303,))
+def test_columnar_vs_scalar_pool_sized(seed):
+    # Big enough that the process executor genuinely fans the batch
+    # kernels out to pool workers in both modes.
+    check_columnar_differential(mtm_like(num_pis=12, num_nodes=250, seed=seed))
 
 
 @pytest.mark.parametrize("seed", (101, 202))
@@ -125,3 +186,9 @@ def test_fuzz_pool_sized(seed):
 @pytest.mark.parametrize("seed", SLOW_SEEDS)
 def test_fuzz_full_sweep(seed):
     check_differential(fuzz_circuit(seed))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SLOW_SEEDS)
+def test_columnar_vs_scalar_full_sweep(seed):
+    check_columnar_differential(fuzz_circuit(seed))
