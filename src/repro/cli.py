@@ -123,6 +123,8 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
     config_updates = {}
     if args.scalar_eval:
         config_updates["columnar_eval"] = False
+    if args.scalar_enum:
+        config_updates["columnar_enum"] = False
     if args.no_shm:
         config_updates["shared_memory"] = False
     if args.no_enum_fanout:
@@ -285,6 +287,13 @@ def build_parser() -> argparse.ArgumentParser:
              "oracle the batch engine is pinned against)",
     )
     p_rw.add_argument(
+        "--scalar-enum", action="store_true",
+        help="merge fanin cut sets with the per-pair scalar loop "
+             "instead of the columnar union/dominance kernels (slower; "
+             "the differential oracle the batch merge is pinned "
+             "against)",
+    )
+    p_rw.add_argument(
         "--no-shm", action="store_true",
         help="ship base snapshots by pickle instead of "
              "multiprocessing.shared_memory (--executor process)",
@@ -393,6 +402,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="exit nonzero unless the machine-independent invariants "
              "hold (NPN LUT beats scalar, batch eval >=2x scalar and "
+             "identical, columnar cut enumeration >=2x scalar and "
              "identical, snapshot deltas >=5x smaller)",
     )
     p_bench.add_argument(
@@ -442,7 +452,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     cuts = report["cut_enumeration"]
     print(
-        f"cut-enum: {cuts['cuts_per_second']:.0f} cuts/s, "
+        f"cut-enum: columnar {cuts['cuts_per_second']:.0f} cuts/s vs "
+        f"scalar {cuts['scalar_cuts_per_second']:.0f} cuts/s "
+        f"(speedup {cuts['speedup']:.1f}x, "
+        f"identical={cuts['identical_results']}), "
         f"tt-cache hits/misses {cuts['cache_hits']}/{cuts['cache_misses']}"
     )
     ev = report["eval_stage"]
@@ -496,6 +509,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(
             f"CHECK FAILED: batch eval not >=2x faster than scalar "
             f"(speedup {be['speedup']}x)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check and not cuts["identical_results"]:
+        print(
+            "CHECK FAILED: columnar cut enumeration differs from scalar",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check and (cuts["speedup"] is None or cuts["speedup"] < 2.0):
+        print(
+            f"CHECK FAILED: columnar cut enumeration not >=2x faster "
+            f"than scalar (speedup {cuts['speedup']}x)",
             file=sys.stderr,
         )
         return 1

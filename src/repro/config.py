@@ -74,6 +74,14 @@ class RewriteConfig:
     # byte-identical either way (pinned by tests/test_differential_
     # fuzz.py across all four executors).
     columnar_eval: bool = True
+    # Enumeration-stage engine: True merges fanin cut sets through the
+    # columnar batch kernels (one numpy union/feasibility kernel over
+    # a whole worklist of harvested roots, plus signature-driven
+    # dominance filtering); False keeps every merge on the per-pair
+    # scalar loop — slower, kept as the differential oracle.  Results,
+    # work charges and replay are byte-identical either way (pinned by
+    # tests/test_differential_fuzz.py across all four executors).
+    columnar_enum: bool = True
     # Worker-side wall-clock telemetry for the process executor: each
     # chunk ships its phase spans back for the observer's WallTimeline.
     # Only active when a tracing observer is attached (the no-op

@@ -79,13 +79,12 @@ class DACParaRewriter:
             not getattr(executor, "native_eval_needs_default_library", True)
             or self.library is get_library()
         )
-        # Native fan-out enumeration needs no library, only the config
-        # knob; results replay through the simulated scheduler either
-        # way, so this only moves merge work onto worker cores.
-        native_enum = (
-            getattr(executor, "supports_native_enum", False)
-            and config.enum_fanout
-        )
+        # Native enumeration needs no library: every executor batches
+        # the merges through the columnar cut kernels (the process
+        # executor additionally fans them out when ``enum_fanout`` is
+        # on) and replays byte-identically, so this only moves merge
+        # work onto kernels and worker cores.
+        native_enum = getattr(executor, "supports_native_enum", False)
         result = RewriteResult(
             engine=self.name,
             workers=config.workers,
@@ -94,7 +93,10 @@ class DACParaRewriter:
             delay_before=aig.max_level(),
             delay_after=aig.max_level(),
         )
-        cutman = CutManager(aig, k=config.cut_size, max_cuts=config.max_cuts)
+        cutman = CutManager(
+            aig, k=config.cut_size, max_cuts=config.max_cuts,
+            columnar=config.columnar_enum,
+        )
         ctx = StageContext(
             aig=aig, cutman=cutman, library=self.library, config=config,
             validate=self.validate, observer=obs,
@@ -165,6 +167,13 @@ class DACParaRewriter:
             if cutman.cache_hits or cutman.cache_misses:
                 obs.count("cut_tt_cache_hits_total", cutman.cache_hits)
                 obs.count("cut_tt_cache_misses_total", cutman.cache_misses)
+            if cutman.expand_evictions:
+                obs.count("cut_expand_cache_evictions_total",
+                          cutman.expand_evictions)
+            if cutman.vec_pairs:
+                obs.count("enum_vectorized_pairs_total", cutman.vec_pairs)
+            if cutman.fallback_pairs:
+                obs.count("enum_scalar_fallback_total", cutman.fallback_pairs)
 
         self.last_stats = executor.stats
         self.last_validation_stats = ctx.validation_stats

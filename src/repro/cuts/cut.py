@@ -18,6 +18,7 @@ matter what equivalence-preserving replacements happen elsewhere.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Tuple
 
 from ..aig import Aig
@@ -39,9 +40,14 @@ class Cut:
     def size(self) -> int:
         return len(self.leaves)
 
-    @property
+    @cached_property
     def sign(self) -> int:
-        """64-bit subset signature for fast dominance pre-checks."""
+        """64-bit subset signature for fast dominance pre-checks.
+
+        Cached: the dominance filter reads it O(n²) times per merge,
+        and ``cached_property`` writes straight into ``__dict__``, so
+        it composes with ``frozen=True``.
+        """
         s = 0
         for leaf in self.leaves:
             s |= 1 << (leaf & 63)

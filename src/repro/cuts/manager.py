@@ -8,6 +8,17 @@ fanin *cuts* (cuts whose own leaves have died) are filtered out at
 merge time, which keeps the inductive validity invariant of
 :mod:`repro.cuts.cut` intact.
 
+The merge hot path is **columnar-first**, mirroring the batch eval
+engine in :mod:`repro.rewrite.columnar`: fanin cut sets are laid out
+as sentinel-padded leaf/sign column arrays, all |C0|x|C1| unions and
+k-feasibility masks are computed in one numpy kernel
+(:func:`~repro.npn.truth.batch_union_leaves`), and the dominance
+filter runs over precomputed 64-bit signatures.  The scalar merge is
+kept as the byte-identical differential oracle (``columnar=False``,
+config ``columnar_enum``/``rewrite --scalar-enum``), and
+:meth:`CutManager.merge_tasks_columnar` merges a whole worklist of
+harvested roots per kernel invocation.
+
 The manager also counts merge work (``work`` attribute): the simulated
 parallel executor charges activities by this measure, which is what
 makes the reproduced speedups data-driven rather than hand-tuned.
@@ -15,12 +26,23 @@ makes the reproduced speedups data-driven rather than hand-tuned.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..aig import Aig
+from ..aig.graph import KIND_DEAD
 from ..aig.literals import lit_compl, lit_var
 from ..errors import CutError
-from ..npn.truth import batch_expand, expand_map16, full_mask
+from ..npn.truth import (
+    CUT_LEAF_SENTINEL,
+    batch_cut_signs,
+    batch_expand,
+    batch_union_leaves,
+    expand_map16,
+    full_mask,
+)
 from .cut import Cut, cut_is_stamp_alive, trivial_cut
 
 DEFAULT_MAX_CUTS = 12
@@ -32,16 +54,42 @@ _FULL_MASKS = tuple(full_mask(n) for n in range(5))
 # expansion to the numpy batch kernel (array setup has fixed overhead).
 BATCH_MERGE_THRESHOLD = 24
 
+# Pair count below which a single-node columnar merge is not worth the
+# array setup and takes the scalar body instead (byte-identical either
+# way; this is purely a constant-factor dispatch).
+COLUMNAR_MIN_PAIRS = 16
+
+# Default bound on the truth-table expansion memo (entries); FIFO
+# eviction past this keeps a long-lived manager's footprint flat.
+DEFAULT_EXPAND_CACHE_CAP = 1 << 16
+
+# Sentinel pad suffixes by pad length, so leaf rows build as one tuple
+# concatenation per cut.
+_LEAF_PAD = tuple((CUT_LEAF_SENTINEL,) * n for n in range(5))
+
+# Dominance-filter record sort key: identical ordering to sorting the
+# built cuts by ``(-cut.size, cut.leaves)`` (rec[2] is the leaf tuple).
+_REC_ORDER = lambda rec: (-len(rec[2]), rec[2])
+
 
 class CutManager:
     """Enumerates and caches k-feasible cuts of an AIG."""
 
-    def __init__(self, aig: Aig, k: int = 4, max_cuts: Optional[int] = DEFAULT_MAX_CUTS):
+    def __init__(
+        self,
+        aig: Aig,
+        k: int = 4,
+        max_cuts: Optional[int] = DEFAULT_MAX_CUTS,
+        columnar: bool = True,
+        expand_cache_cap: Optional[int] = DEFAULT_EXPAND_CACHE_CAP,
+    ):
         if k < 2 or k > 4:
             raise CutError(f"cut size {k} unsupported (needs 2..4)")
         self.aig = aig
         self.k = k
         self.max_cuts = max_cuts
+        self.columnar = columnar
+        self.expand_cache_cap = expand_cache_cap
         self.work = 0  # merge operations performed (cost model input)
         # Vars whose cut sets the most recent cuts() call had to compute
         # (used by operators as the lock region of the shared recursion).
@@ -54,6 +102,19 @@ class CutManager:
         self._expand_cache: Dict[Tuple[int, Tuple[int, ...], Tuple[int, ...]], int] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        self.expand_evictions = 0
+        # Pairs merged through the columnar kernels vs the scalar body
+        # (observer counters enum_vectorized_pairs_total /
+        # enum_scalar_fallback_total).
+        self.vec_pairs = 0
+        self.fallback_pairs = 0
+        # var -> (cut list identity, leaf rows, signs): the column
+        # layout of a cached cut set, rebuilt lazily when the cache
+        # entry is replaced (identity check) and dropped on
+        # invalidation — this is what lets post-replacement re-merges
+        # (invalidate_tfo + fresh_cuts) reuse fanin columns instead of
+        # rebuilding per-node Python lists.
+        self._cols: Dict[int, Tuple[List[Cut], "np.ndarray", List[int]]] = {}
 
     # ------------------------------------------------------------------
 
@@ -117,6 +178,7 @@ class CutManager:
     def invalidate(self, var: int) -> None:
         """Drop the cache entry for one node."""
         self._cache.pop(var, None)
+        self._cols.pop(var, None)
 
     def invalidate_tfo(self, var: int) -> int:
         """Recursively drop cache entries of ``var`` and its transitive
@@ -131,6 +193,7 @@ class CutManager:
             if v in seen:
                 continue
             seen.add(v)
+            self._cols.pop(v, None)
             if self._cache.pop(v, None) is not None:
                 dropped += 1
             if not self.aig.is_dead(v):
@@ -138,8 +201,14 @@ class CutManager:
         return dropped
 
     def clear(self) -> None:
+        """Drop all caches and reset the per-run memo counters, so
+        counter deltas across :meth:`clear` boundaries are meaningful."""
         self._cache.clear()
         self._expand_cache.clear()
+        self._cols.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.expand_evictions = 0
 
     # ------------------------------------------------------------------
 
@@ -149,11 +218,20 @@ class CutManager:
         answers from cache without any merge work."""
         aig = self.aig
         entry = self._cache.get(var)
-        return (
-            entry is not None
-            and entry[0] == aig.stamp(var)
-            and all(cut_is_stamp_alive(aig, c) for c in entry[1])
-        )
+        if entry is None or entry[0] != aig.stamp(var):
+            return False
+        # Inlined cut_is_stamp_alive over the whole entry, reading the
+        # kind/life columns directly (both Aig and AigSnapshot expose
+        # them): this check runs for every worklist root and both its
+        # fanins, so per-leaf accessor calls are worth shaving.
+        kind = aig._kind
+        life = aig._life
+        for c in entry[1]:
+            stamps = c.leaf_stamps
+            for i, leaf in enumerate(c.leaves):
+                if kind[leaf] == KIND_DEAD or life[leaf] != stamps[i]:
+                    return False
+        return True
 
     def enum_harvest(
         self, root: int
@@ -187,7 +265,10 @@ class CutManager:
             if aig.is_and(fv):
                 if not self.has_fresh_live_cuts(fv):
                     return None
-                sets.append(self._live_cuts(fv))
+                # has_fresh_live_cuts just verified every cached cut
+                # alive, so the entry list *is* the live set — no
+                # second aliveness scan.
+                sets.append(list(self._cache[fv][1]))
             else:
                 fentry = self._cache.get(fv)
                 if fentry is not None and fentry[0] == aig.stamp(fv):
@@ -216,14 +297,90 @@ class CutManager:
         self._cache[root] = (aig.stamp(root), list(cuts))
         self.work += work
 
+    # ------------------------------------------------------------------
+    # Columnar layout helpers
+
+    def _leaf_rows(self, cuts: List[Cut]) -> "np.ndarray":
+        """Sentinel-padded ``(n, 4)`` int64 leaf rows for ``cuts``."""
+        if not cuts:
+            return np.empty((0, 4), dtype=np.int64)
+        return np.array(
+            [c.leaves + _LEAF_PAD[4 - len(c.leaves)] for c in cuts],
+            dtype=np.int64,
+        )
+
+    def _life_column(self):
+        """The life-stamp column of the underlying graph: the live
+        ``Aig`` list, or the snapshot's cached plain-list column —
+        either way ``col[v] == aig.life_stamp(v)`` as a Python int."""
+        columns = getattr(self.aig, "columns", None)
+        if columns is not None:
+            return columns()[6]
+        return self.aig._life
+
+    def _fanin_columns(
+        self, var: int
+    ) -> Tuple[List[Cut], "np.ndarray", List[int]]:
+        """Column layout (cut list, leaf rows, signs) of ``var``'s
+        cached cut set, rebuilt only when the cache entry changed
+        (list identity: cached cut lists are replaced, never mutated)."""
+        entry = self._cache.get(var)
+        if entry is None:
+            raise CutError(
+                f"no cached cut set for node {var}: enumerate it first "
+                f"(cuts()/install_cuts())"
+            )
+        cuts = entry[1]
+        col = self._cols.get(var)
+        if col is None or col[0] is not cuts:
+            arr = self._leaf_rows(cuts)
+            col = (cuts, arr, batch_cut_signs(arr))
+            self._cols[var] = col
+        return col
+
+    def _live_columns(
+        self, var: int
+    ) -> Tuple[List[Cut], "np.ndarray", List[int]]:
+        """Like :meth:`_live_cuts`, but returning the column layout,
+        with dead rows dropped from the cached columns."""
+        cuts, arr, signs = self._fanin_columns(var)
+        aig = self.aig
+        alive = [i for i, c in enumerate(cuts) if cut_is_stamp_alive(aig, c)]
+        if len(alive) == len(cuts):
+            return cuts, arr, signs
+        if not alive:
+            t = trivial_cut(aig, var)
+            tarr = self._leaf_rows([t])
+            return [t], tarr, batch_cut_signs(tarr)
+        return [cuts[i] for i in alive], arr[alive], signs[alive]
+
+    # ------------------------------------------------------------------
+    # Merging
+
     def _merge_node(self, v: int) -> List[Cut]:
         aig = self.aig
         f0, f1 = aig.fanin0(v), aig.fanin1(v)
-        return self.merge_fanin_sets(
-            v, f0, f1,
-            self._live_cuts(lit_var(f0)),
-            self._live_cuts(lit_var(f1)),
+        if not self.columnar:
+            return self.merge_fanin_sets(
+                v, f0, f1,
+                self._live_cuts(lit_var(f0)),
+                self._live_cuts(lit_var(f1)),
+            )
+        c0_all, a0, s0 = self._live_columns(lit_var(f0))
+        c1_all, a1, s1 = self._live_columns(lit_var(f1))
+        n_pairs = len(c0_all) * len(c1_all)
+        self.work += n_pairs
+        if n_pairs < COLUMNAR_MIN_PAIRS:
+            self.fallback_pairs += n_pairs
+            return self._merge_scalar(v, f0, f1, c0_all, c1_all)
+        self.vec_pairs += n_pairs
+        meta = [(v, lit_compl(f0), lit_compl(f1),
+                 0, len(c0_all), len(c0_all), len(c1_all))]
+        out, _, _ = self._columnar_core(
+            list(c0_all) + list(c1_all), np.concatenate([a0, a1]),
+            np.concatenate([s0, s1]), meta,
         )
+        return out[0]
 
     def merge_fanin_sets(
         self,
@@ -235,16 +392,244 @@ class CutManager:
     ) -> List[Cut]:
         """Merge explicit fanin cut sets of AND node ``v``.
 
-        Two-phase: first collect the k-feasible pairs, then expand the
-        pair tables — through the memo for small pair sets, through the
-        vectorized :func:`batch_expand` kernel for large ones.  Both
-        paths produce bit-identical tables, so the choice never affects
-        results (property-tested).
+        Dispatches to the columnar kernel path for large pair sets and
+        to the scalar body for small ones (or always, with
+        ``columnar=False`` — the differential oracle).  All paths
+        produce bit-identical results and charge identical
+        :attr:`work`, so the choice never affects replay
+        (property-tested).
 
         Taking the fanin sets as arguments (rather than reading the
         cache) is what lets a process worker run the identical merge
         against an :class:`~repro.aig.snapshot.AigSnapshot` with cut
         sets harvested in the parent (:meth:`enum_harvest`).
+        """
+        n_pairs = len(c0_all) * len(c1_all)
+        self.work += n_pairs
+        if self.columnar and n_pairs >= COLUMNAR_MIN_PAIRS:
+            self.vec_pairs += n_pairs
+            all_cuts = list(c0_all) + list(c1_all)
+            leaves = self._leaf_rows(all_cuts)
+            meta = [(v, lit_compl(f0), lit_compl(f1),
+                     0, len(c0_all), len(c0_all), len(c1_all))]
+            out, _, _ = self._columnar_core(
+                all_cuts, leaves, batch_cut_signs(leaves), meta
+            )
+            return out[0]
+        if self.columnar:
+            self.fallback_pairs += n_pairs
+        return self._merge_scalar(v, f0, f1, c0_all, c1_all)
+
+    def merge_tasks_columnar(
+        self, tasks, observer=None
+    ) -> List[Tuple[int, List[Cut], int]]:
+        """Merge a whole worklist of harvested roots in one kernel
+        invocation.
+
+        ``tasks`` is a list of ``(root,) + enum_harvest(root)`` tuples,
+        i.e. ``(root, f0, f1, c0_all, c1_all)``.  Returns ``(root,
+        cuts, pairs)`` rows in task order, where ``pairs`` is the merge
+        work the caller must charge via
+        :meth:`install_cuts(..., work=pairs)` — this method itself does
+        **not** touch :attr:`work`, exactly like a pool worker's merge,
+        so replay through the schedulers charges each root's cost once.
+
+        When ``observer`` is metric-enabled, emits the
+        ``enum_batch_size`` histogram and per-phase
+        ``enum_kernel_seconds`` timings.
+        """
+        if not tasks:
+            return []
+        all_cuts: List[Cut] = []
+        meta = []
+        total_pairs = 0
+        for root, f0, f1, c0_all, c1_all in tasks:
+            off0 = len(all_cuts)
+            all_cuts.extend(c0_all)
+            off1 = len(all_cuts)
+            all_cuts.extend(c1_all)
+            meta.append((root, lit_compl(f0), lit_compl(f1),
+                         off0, len(c0_all), off1, len(c1_all)))
+            total_pairs += len(c0_all) * len(c1_all)
+        self.vec_pairs += total_pairs
+        leaves = self._leaf_rows(all_cuts)
+        out, union_s, filter_s = self._columnar_core(
+            all_cuts, leaves, batch_cut_signs(leaves), meta
+        )
+        if observer is not None and observer.enabled:
+            observer.observe("enum_batch_size", float(total_pairs))
+            observer.observe("enum_kernel_seconds", union_s, phase="union")
+            observer.observe("enum_kernel_seconds", filter_s, phase="filter")
+        return [(m[0], cuts, m[4] * m[6]) for m, cuts in zip(meta, out)]
+
+    def _columnar_core(
+        self,
+        all_cuts: List[Cut],
+        leaves: "np.ndarray",
+        signs: List[int],
+        meta,
+    ) -> Tuple[List[List[Cut]], float, float]:
+        """The batch merge kernel shared by every columnar entry point.
+
+        ``meta`` rows are ``(root, comp0, comp1, off0, n0, off1, n1)``
+        describing each task's fanin-cut slices of ``all_cuts`` /
+        ``leaves`` / ``signs``.  Returns per-task result lists (in meta
+        order) plus the union- and filter-phase kernel seconds.
+
+        The pair grid is row-major per task (c0 outer, c1 inner), so
+        feasible pairs arrive at the dominance filter in exactly the
+        scalar loop's insertion order — order matters: the filter is
+        first-wins on duplicates.
+
+        Unlike the scalar body, truth-table expansion here skips the
+        ``(tt, src, dst)`` memo entirely: the leaf-position maps and
+        the 16-minterm gathers are computed for every feasible pair in
+        one numpy pass (bit-identical to :func:`~repro.npn.truth.
+        expand` by construction), which is cheaper than per-pair dict
+        probes.  The memo — and its hit/miss counters — keeps serving
+        the scalar paths.
+        """
+        t0 = time.perf_counter()
+        n0s = np.array([m[4] for m in meta], dtype=np.int64)
+        n1s = np.array([m[6] for m in meta], dtype=np.int64)
+        off0 = np.array([m[3] for m in meta], dtype=np.int64)
+        off1 = np.array([m[5] for m in meta], dtype=np.int64)
+        ppt = n0s * n1s
+        total = int(ppt.sum())
+        starts = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(ppt)[:-1]]
+        )
+        task_of = np.repeat(np.arange(len(meta), dtype=np.int64), ppt)
+        r = np.arange(total, dtype=np.int64) - np.repeat(starts, ppt)
+        n1p = n1s[task_of]
+        i0 = off0[task_of] + r // n1p
+        i1 = off1[task_of] + r % n1p
+        union, sizes = batch_union_leaves(leaves[i0], leaves[i1])
+        feas = np.nonzero(sizes <= self.k)[0]
+        i0a, i1a = i0[feas], i1[feas]
+        u8 = union[feas]
+        sz = sizes[feas]
+        task_f = task_of[feas]
+
+        # Expansion: position of each source leaf inside its union row
+        # (rows are sorted, so position = count of smaller entries),
+        # then the source minterm index for each of the 16 destination
+        # minterms, then one gather per side.  Sentinel pad lanes are
+        # masked out of the minterm sums.
+        tts_all = np.array([c.tt for c in all_cuts], dtype=np.int64)
+        j_idx = np.arange(16, dtype=np.int64)
+        var_shift = np.arange(4, dtype=np.int64)[None, :, None]
+        masks = np.array(_FULL_MASKS, dtype=np.int64)[sz]
+
+        def _expand_side(idx_arr):
+            src = leaves[idx_arr]                      # (P, 4)
+            pos = (u8[:, None, :] < src[:, :, None]).sum(axis=2)
+            contrib = (
+                ((j_idx[None, None, :] >> pos[:, :, None]) & 1) << var_shift
+            )
+            contrib *= (src < CUT_LEAF_SENTINEL)[:, :, None]
+            m = contrib.sum(axis=1)                    # (P, 16)
+            bits = (tts_all[idx_arr][:, None] >> m) & 1
+            return ((bits << j_idx).sum(axis=1)) & masks
+
+        tt0 = _expand_side(i0a)
+        tt1 = _expand_side(i1a)
+        comp0_f = np.array([m[1] for m in meta], dtype=bool)[task_f]
+        comp1_f = np.array([m[2] for m in meta], dtype=bool)[task_f]
+        tt0 = np.where(comp0_f, tt0 ^ masks, tt0)
+        tt1 = np.where(comp1_f, tt1 ^ masks, tt1)
+        tts = (tt0 & tt1 & masks).tolist()
+        usigns = (signs[i0a] | signs[i1a]).tolist()
+        urows = u8.tolist()
+        usz = sz.tolist()
+        # Leaf stamps gathered in one vectorized pass (sentinel lanes
+        # clamped to index 0; they are sliced away below).
+        life_arr = np.asarray(self._life_column(), dtype=np.int64)
+        srows = life_arr[np.where(u8 < CUT_LEAF_SENTINEL, u8, 0)].tolist()
+        per_task = np.bincount(task_f, minlength=len(meta)).tolist()
+        union_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        max_cuts = self.max_cuts
+        aig = self.aig
+        cut_new = Cut.__new__
+        out: List[List[Cut]] = []
+        pos = 0
+        for t, (root, _c0, _c1, _, _, _, _) in enumerate(meta):
+            cnt = per_task[t]
+            # Insertion-order dominance filter over (sign, leafset)
+            # records — the exact _add_filtered algorithm.  Frozensets
+            # are built lazily (cached in rec[1]) because the signature
+            # pre-check rejects almost every candidate pair, and Cut
+            # construction is deferred past sort + truncation so only
+            # shipped cuts pay for it.
+            recs: List[list] = []
+            for idx in range(pos, pos + cnt):
+                dst = tuple(urows[idx][: usz[idx]])
+                sgn = usigns[idx]
+                lset = None
+                dominated = False
+                drops = None
+                for j, rec in enumerate(recs):
+                    rsgn = rec[0]
+                    sub_old = (rsgn & ~sgn) == 0
+                    sub_new = (sgn & ~rsgn) == 0
+                    if not (sub_old or sub_new):
+                        continue
+                    rset = rec[1]
+                    if rset is None:
+                        rset = rec[1] = frozenset(rec[2])
+                    if lset is None:
+                        lset = frozenset(dst)
+                    if sub_old and rset <= lset:
+                        dominated = True  # an existing subset wins
+                        break
+                    if sub_new and lset <= rset:
+                        # new cut dominates; drop existing
+                        if drops is None:
+                            drops = []
+                        drops.append(j)
+                if dominated:
+                    continue
+                if drops is not None:
+                    for j in reversed(drops):
+                        del recs[j]
+                recs.append([sgn, lset, dst, tts[idx], srows[idx]])
+            pos += cnt
+            recs.sort(key=_REC_ORDER)
+            if max_cuts is not None and len(recs) > max_cuts:
+                del recs[max_cuts:]
+            results = []
+            for sgn, _lset, dst, tt, srow in recs:
+                # Bypass the dataclass __init__ (and pre-seed the
+                # cached sign): this is the hottest allocation site and
+                # the fields are consistent by construction.
+                cut = cut_new(Cut)
+                cut.__dict__.update(
+                    leaves=dst, tt=tt,
+                    leaf_stamps=tuple(srow[: len(dst)]), sign=sgn,
+                )
+                results.append(cut)
+            results.append(trivial_cut(aig, root))
+            out.append(results)
+        filter_seconds = time.perf_counter() - t0
+        return out, union_seconds, filter_seconds
+
+    def _merge_scalar(
+        self,
+        v: int,
+        f0: int,
+        f1: int,
+        c0_all: List[Cut],
+        c1_all: List[Cut],
+    ) -> List[Cut]:
+        """The scalar merge body (work already charged by the caller).
+
+        Two-phase: first collect the k-feasible pairs, then expand the
+        pair tables — through the memo for small pair sets, through the
+        vectorized :func:`batch_expand` kernel for large ones.  Both
+        paths produce bit-identical tables, so the choice never affects
+        results (property-tested).
         """
         aig = self.aig
         comp0, comp1 = lit_compl(f0), lit_compl(f1)
@@ -252,7 +637,6 @@ class CutManager:
         pairs: List[Tuple[Cut, Cut, Tuple[int, ...]]] = []
         for c0 in c0_all:
             for c1 in c1_all:
-                self.work += 1
                 union = sorted(set(c0.leaves) | set(c1.leaves))
                 if len(union) > k:
                     continue
@@ -285,6 +669,20 @@ class CutManager:
         results.append(trivial_cut(aig, v))
         return results
 
+    # ------------------------------------------------------------------
+    # Truth-table expansion memo
+
+    def _evict_expand(self) -> None:
+        cap = self.expand_cache_cap
+        if cap is None:
+            return
+        cache = self._expand_cache
+        while len(cache) > cap:
+            # FIFO via dict insertion order: oldest lifts are the
+            # least likely to recur once enumeration moved past them.
+            del cache[next(iter(cache))]
+            self.expand_evictions += 1
+
     def _expand_cached(self, tt: int, src: Tuple[int, ...], dst: Tuple[int, ...]) -> int:
         """Memoized lift of ``tt`` from leaf set ``src`` to ``dst``."""
         if src == dst:
@@ -302,6 +700,7 @@ class CutManager:
                 out |= 1 << j_bit
         out &= _FULL_MASKS[len(dst)]
         self._expand_cache[key] = out
+        self._evict_expand()
         return out
 
     def _expand_pairs_batch(
@@ -346,10 +745,16 @@ class CutManager:
                     out0[idx] = tt
                 else:
                     out1[idx] = tt
+            self._evict_expand()
         return list(zip(out0, out1))
 
     def _live_cuts(self, var: int) -> List[Cut]:
-        entry = self._cache[var]
+        entry = self._cache.get(var)
+        if entry is None:
+            raise CutError(
+                f"no cached cut set for node {var}: enumerate it first "
+                f"(cuts()/install_cuts())"
+            )
         live = [c for c in entry[1] if cut_is_stamp_alive(self.aig, c)]
         return live if live else [trivial_cut(self.aig, var)]
 
@@ -366,3 +771,20 @@ class CutManager:
             keep.append(existing)
         keep.append(cut)
         results[:] = keep
+
+
+def enum_tasks_columnar(aig_like, tasks, config, observer=None):
+    """Worklist-grained columnar merge against arbitrary graph state.
+
+    The enumeration twin of
+    :func:`~repro.rewrite.columnar.eval_tasks_columnar`: builds a
+    fresh :class:`CutManager` over ``aig_like`` (a live
+    :class:`~repro.aig.Aig` or an
+    :class:`~repro.aig.snapshot.AigSnapshot`) and merges every
+    harvested task in one kernel invocation.  Returns ``(root, cuts,
+    pairs)`` rows in task order.
+    """
+    cutman = CutManager(
+        aig_like, k=config.cut_size, max_cuts=config.max_cuts, columnar=True
+    )
+    return cutman.merge_tasks_columnar(tasks, observer=observer)

@@ -411,20 +411,36 @@ def _enum_tasks(aig_like, tasks, config, collector) -> List[Tuple[int, object, i
     so the returned ``(root, cuts, pairs)`` triples replay exactly.
     Truth-table expansion memo hits are reported under worker-specific
     counter names — the memo is per-chunk here but global in a
-    simulated run, so the raw counts legitimately differ.
+    simulated run, so the raw counts legitimately differ.  The merge
+    engine follows ``config.columnar_enum``: the whole chunk through
+    one :meth:`~repro.cuts.manager.CutManager.merge_tasks_columnar`
+    kernel invocation, or the scalar per-root oracle.
     """
     from ..cuts.manager import CutManager
 
-    cutman = CutManager(aig_like, k=config.cut_size, max_cuts=config.max_cuts)
+    cutman = CutManager(
+        aig_like, k=config.cut_size, max_cuts=config.max_cuts,
+        columnar=config.columnar_enum,
+    )
     out: List[Tuple[int, object, int]] = []
-    for root, f0, f1, c0_all, c1_all in tasks:
-        before = cutman.work
-        cuts = cutman.merge_fanin_sets(root, f0, f1, c0_all, c1_all)
-        out.append((root, cuts, cutman.work - before))
+    if config.columnar_enum:
+        out.extend(cutman.merge_tasks_columnar(tasks, observer=collector))
+    else:
+        for root, f0, f1, c0_all, c1_all in tasks:
+            before = cutman.work
+            cuts = cutman.merge_fanin_sets(root, f0, f1, c0_all, c1_all)
+            out.append((root, cuts, cutman.work - before))
     if cutman.cache_hits:
         collector.count("worker_cut_tt_cache_hits_total", cutman.cache_hits)
     if cutman.cache_misses:
         collector.count("worker_cut_tt_cache_misses_total", cutman.cache_misses)
+    if cutman.expand_evictions:
+        collector.count("worker_cut_expand_cache_evictions_total",
+                        cutman.expand_evictions)
+    if cutman.vec_pairs:
+        collector.count("enum_vectorized_pairs_total", cutman.vec_pairs)
+    if cutman.fallback_pairs:
+        collector.count("enum_scalar_fallback_total", cutman.fallback_pairs)
     return out
 
 
@@ -1175,7 +1191,15 @@ class ProcessExecutor(SimulatedExecutor):
         activity retries as a one-unit cache hit exactly like the
         simulated run.  Ineligible roots (already-fresh entries, deep
         recursions on cold caches) run the real operator in replay.
+
+        With ``enum_fanout`` off the stage stays in-parent on the
+        batched columnar path (or, with ``columnar_enum`` off too, the
+        scalar operator) — byte-identical either way.
         """
+        if not ctx.config.enum_fanout:
+            from ..rewrite.columnar import run_enum_batched
+
+            return run_enum_batched(self, name, items, ctx)
         try:
             return self._run_enum_fanout(name, items, ctx)
         except BaseException:
@@ -1199,7 +1223,9 @@ class ProcessExecutor(SimulatedExecutor):
 
         pool = self._ensure_pool() if len(tasks) >= MIN_FANOUT else None
         if pool is None:
-            return self.run(name, items, enum_op)
+            from ..rewrite.columnar import run_enum_batched
+
+            return run_enum_batched(self, name, items, ctx)
 
         start_wall = time.perf_counter()
         start_time = time.time()
@@ -1221,7 +1247,9 @@ class ProcessExecutor(SimulatedExecutor):
             self._warn_fallback(f"process fan-out failed ({exc})")
             self._pool_broken = True
             self.close()
-            return self.run(name, items, enum_op)
+            from ..rewrite.columnar import run_enum_batched
+
+            return run_enum_batched(self, name, items, ctx)
 
         results = {root: (cuts, pairs) for root, cuts, pairs in merged}
         fanout_wall = time.perf_counter() - start_wall

@@ -84,6 +84,9 @@ class SimulatedExecutor:
     #: ``ctx.library`` directly, so a custom library is fine.
     supports_native_eval = True
     native_eval_needs_default_library = False
+    #: Same contract for the enum stage: :meth:`run_enum` batch-merges
+    #: the worklist through the columnar cut kernels and replays.
+    supports_native_enum = True
 
     def __init__(
         self,
@@ -133,6 +136,18 @@ class SimulatedExecutor:
         from ..rewrite.columnar import run_eval_batched
 
         return run_eval_batched(self, name, items, ctx)
+
+    def run_enum(self, name: str, items: Sequence[int], ctx) -> StageStats:
+        """The enum stage via the columnar cut-merge kernels plus
+        replay: every harvest-eligible root's merge is precomputed in
+        one batch (:meth:`~repro.cuts.CutManager.merge_tasks_columnar`)
+        and installed through a replay operator charging the identical
+        pair costs, so stats and the cut cache are byte-identical to
+        the operator path (which ``columnar_enum = False`` falls back
+        to)."""
+        from ..rewrite.columnar import run_enum_batched
+
+        return run_enum_batched(self, name, items, ctx)
 
     def run(self, name: str, items: Sequence, operator: Operator) -> StageStats:
         """Execute ``operator(item)`` for every item; returns stage stats."""

@@ -61,6 +61,10 @@ class ThreadedExecutor:
     #: what the scalar operator path would produce.
     supports_native_eval = True
     native_eval_needs_default_library = False
+    #: Enum fans through the columnar batch merge too; the replay
+    #: operators install under the commit mutex (every generator
+    #: resumption holds it), so the shared cut cache stays safe.
+    supports_native_enum = True
 
     def __init__(self, workers: int, observer: Optional[Observer] = None):
         if workers < 1:
@@ -94,6 +98,14 @@ class ThreadedExecutor:
         from ..rewrite.columnar import run_eval_batched
 
         return run_eval_batched(self, name, items, ctx)
+
+    def run_enum(self, name: str, items: Sequence, ctx) -> StageStats:
+        """The enum stage via the columnar cut-merge kernels plus
+        replay (see :meth:`SimulatedExecutor.run_enum <repro.galois.
+        simsched.SimulatedExecutor.run_enum>` — identical contract)."""
+        from ..rewrite.columnar import run_enum_batched
+
+        return run_enum_batched(self, name, items, ctx)
 
     def run(self, name: str, items: Sequence, operator: Operator) -> StageStats:
         """Execute ``operator(item)`` on real threads; returns stats."""

@@ -159,6 +159,51 @@ def batch_lift_tt4(tts, sizes):
     return tts * mult
 
 
+#: Pad value for leaf columns: larger than any node id, so sorting a
+#: padded row pushes the padding to the right and the valid prefix
+#: stays in ascending leaf order.
+CUT_LEAF_SENTINEL = 1 << 62
+
+
+def batch_union_leaves(l0, l1):
+    """Vectorized leaf-set union over many cut pairs.
+
+    ``l0`` and ``l1`` are ``(P, k)`` int64 arrays of ascending leaf
+    ids padded with :data:`CUT_LEAF_SENTINEL`.  Returns ``(rows,
+    sizes)`` where ``rows`` is the ``(P, 2k)`` sorted, sentinel-padded
+    union of each pair and ``sizes`` its per-row valid-leaf count —
+    the batch form of ``sorted(set(c0.leaves) | set(c1.leaves))`` in
+    the cut manager's merge loop.
+    """
+    import numpy as np
+
+    u = np.concatenate([l0, l1], axis=1)
+    u.sort(axis=1)
+    # Each leaf occurs at most once per side, so duplicates are
+    # adjacent pairs: one sentinel-overwrite pass plus a re-sort
+    # leaves each row as its deduplicated, ascending union.
+    dup = u[:, 1:] == u[:, :-1]
+    u[:, 1:][dup] = CUT_LEAF_SENTINEL
+    u.sort(axis=1)
+    sizes = (u < CUT_LEAF_SENTINEL).sum(axis=1)
+    return u, sizes
+
+
+def batch_cut_signs(leaves):
+    """Vectorized ``Cut.sign`` over sentinel-padded leaf rows: the
+    64-bit occupancy signature ``OR(1 << (leaf & 63))`` per row."""
+    import numpy as np
+
+    leaves = np.asarray(leaves, dtype=np.int64)
+    valid = leaves < CUT_LEAF_SENTINEL
+    bits = np.where(
+        valid,
+        np.uint64(1) << (leaves.astype(np.uint64) & np.uint64(63)),
+        np.uint64(0),
+    )
+    return np.bitwise_or.reduce(bits, axis=1)
+
+
 def shrink_to_support(tt: int, n: int) -> Tuple[int, Tuple[int, ...]]:
     """Drop unsupported variables; returns (table, kept variable indices)."""
     sup = support(tt, n)

@@ -239,7 +239,13 @@ def find_best_candidate(
     meter: Optional[WorkMeter] = None,
     observer=None,
 ) -> Optional[Candidate]:
-    """The DAG-aware rewriting inner loop for a single node."""
+    """The DAG-aware rewriting inner loop for a single node.
+
+    The ``fresh_cuts`` call rides the cut manager's configured merge
+    engine — the columnar union/dominance kernels by default, the
+    scalar oracle with ``columnar=False`` — with byte-identical
+    results either way.
+    """
     return best_candidate_over_cuts(
         aig, root, cutman.fresh_cuts(root), library, config, meter, observer
     )

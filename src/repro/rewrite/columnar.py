@@ -515,3 +515,51 @@ def run_eval_batched(executor, name: str, items: Sequence[int], ctx):
         prep_info.store(root, candidate)
 
     return executor.run(name, items, replay_operator)
+
+
+def run_enum_batched(executor, name: str, items: Sequence[int], ctx):
+    """Native enum stage for the in-process executors: harvest every
+    fan-out-eligible root, merge them all in one columnar kernel
+    invocation (:meth:`~repro.cuts.CutManager.merge_tasks_columnar`),
+    then replay through ``executor.run``.
+
+    The replay operator is the in-process twin of the process
+    executor's fan-out replay: it installs the precomputed cut set and
+    charges the identical pair count, so phase costs, lock regions and
+    the :attr:`~repro.cuts.CutManager.work` trajectory are
+    byte-identical to running the scalar enum operator.  Ineligible
+    roots (and any root whose entry became fresh after an aborted
+    retry) fall back to the enum operator, exactly as in the fan-out
+    path; with ``columnar_enum`` off the stage simply runs the scalar
+    operator (the differential oracle).
+    """
+    from ..core.operators import make_enum_operator
+    from ..galois.activity import Phase
+
+    enum_op = make_enum_operator(ctx)
+    if not ctx.config.columnar_enum:
+        return executor.run(name, items, enum_op)
+    aig = ctx.aig
+    cutman = ctx.cutman
+    tasks = []
+    for root in items:
+        if aig.is_dead(root):
+            continue
+        harvest = cutman.enum_harvest(root)
+        if harvest is not None:
+            tasks.append((root,) + harvest)
+    merged = cutman.merge_tasks_columnar(tasks, observer=executor.obs)
+    results = {root: (cuts, pairs) for root, cuts, pairs in merged}
+
+    def replay_operator(root: int):
+        if aig.is_dead(root):
+            return
+        got = results.get(root)
+        if got is not None and not cutman.has_fresh_live_cuts(root):
+            cuts, pairs = got
+            cutman.install_cuts(root, cuts, work=pairs)
+            yield Phase(locks=(root,), cost=pairs + 1)
+            return
+        yield from enum_op(root)
+
+    return executor.run(name, items, replay_operator)

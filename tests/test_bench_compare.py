@@ -21,7 +21,7 @@ def _report(**overrides):
     """A minimal hot-path report covering every tracked metric."""
     base = {
         "npn_canon": {"lut_lookups_per_second": 1_000_000.0, "speedup": 100.0},
-        "cut_enumeration": {"cuts_per_second": 50_000.0},
+        "cut_enumeration": {"cuts_per_second": 50_000.0, "speedup": 2.5},
         "eval_stage": {
             "simulated_nodes_per_second": 5_000.0,
             "process_nodes_per_second": 4_000.0,
@@ -146,7 +146,9 @@ class TestBenchCompareCli:
         # _cmd_bench's summary print reads these beyond the tracked set.
         current["npn_canon"].update(
             scalar_lookups_per_second=10_000.0, lut_build_seconds=0.5)
-        current["cut_enumeration"].update(cache_hits=1, cache_misses=2)
+        current["cut_enumeration"].update(
+            cache_hits=1, cache_misses=2,
+            scalar_cuts_per_second=20_000.0, identical_results=True)
         current["eval_stage"].update(jobs=1, multijob_jobs=2)
         current["batch_eval"].update(
             scalar_nodes_per_second=6_000.0, vectorized_fraction=1.0,

@@ -15,13 +15,15 @@ rewrite through every executor kind.  The oracle is layered:
   (:func:`repro.sat.check_equivalence_auto`; the fuzz circuits keep
   PI counts in exhaustive-simulation range so the check is exact).
 
-A second axis pins the **columnar batch engine** against its scalar
-oracle: full runs with ``columnar_eval`` on versus off must be
-byte-identical on every deterministic executor (simulated, serial,
-process), and on the threaded executor — whose full-run interleaving
-is scheduler-dependent — the eval *stage* in isolation must store the
+A second axis pins the **columnar batch engines** against their scalar
+oracles: full runs with ``columnar_eval`` (and, independently,
+``columnar_enum``) on versus off must be byte-identical on every
+deterministic executor (simulated, serial, process), and on the
+threaded executor — whose full-run interleaving is
+scheduler-dependent — the eval *stage* in isolation must store the
 exact same candidates either way (it is lock-free, so per-root stores
-are interleaving-independent).
+are interleaving-independent), and the enum *stage* must install the
+exact same cut sets (cut sets are a pure function of the graph).
 
 The smoke tier (always on, fixed seeds — CI runs it per-push) covers
 ``SMOKE_SEEDS`` plus two pool-sized circuits that genuinely cross the
@@ -72,10 +74,12 @@ def fuzz_circuit(seed: int):
     )
 
 
-def _run(base, kind: str, workers: int = 5, columnar: bool = True):
+def _run(base, kind: str, workers: int = 5, columnar: bool = True,
+         columnar_enum: bool = True):
     aig = copy.deepcopy(base)
     config = dataclasses.replace(
-        dacpara_config(workers=workers), columnar_eval=columnar
+        dacpara_config(workers=workers),
+        columnar_eval=columnar, columnar_enum=columnar_enum,
     )
     engine = DACParaRewriter(config=config, executor_kind=kind, jobs=2)
     with warnings.catch_warnings():
@@ -125,6 +129,44 @@ def _threaded_eval_stage_prep(base, columnar: bool):
     return {v: ctx.prep_info.get(v) for v in live}
 
 
+def _threaded_enum_stage_cuts(base, columnar_enum: bool):
+    """Run the enum stage alone on the threaded executor, level by
+    level (so the batched path genuinely merges whole worklists);
+    returns every node's installed cut set.  Cut sets are a pure
+    function of the graph, so they are interleaving-independent."""
+    aig = copy.deepcopy(base)
+    config = dataclasses.replace(
+        dacpara_config(workers=4), columnar_enum=columnar_enum
+    )
+    cutman = CutManager(
+        aig, k=config.cut_size, max_cuts=config.max_cuts,
+        columnar=columnar_enum,
+    )
+    live = aig.topo_ands()
+    ctx = StageContext(
+        aig=aig, cutman=cutman, library=get_library(), config=config
+    )
+    ex = ThreadedExecutor(4)
+    levels = {}
+    for v in live:
+        levels.setdefault(aig.level(v), []).append(v)
+    for lv in sorted(levels):
+        ex.run_enum("enum", levels[lv], ctx)
+    return {v: cutman.fresh_cuts(v) for v in live}
+
+
+def check_enum_differential(base) -> None:
+    """Columnar cut enumeration pinned byte-identical to the scalar
+    merge oracle on every executor kind."""
+    for kind, workers in (("simulated", 5), ("serial", 1), ("process", 5)):
+        r_col, a_col = _run(base, kind, workers=workers, columnar_enum=True)
+        r_sca, a_sca = _run(base, kind, workers=workers, columnar_enum=False)
+        assert result_fingerprint(r_col) == result_fingerprint(r_sca), kind
+        assert aig_fingerprint(a_col) == aig_fingerprint(a_sca), kind
+    assert _threaded_enum_stage_cuts(base, True) == \
+        _threaded_enum_stage_cuts(base, False)
+
+
 def check_columnar_differential(base) -> None:
     """Batch-kernel eval pinned byte-identical to the scalar oracle on
     every executor kind."""
@@ -152,6 +194,18 @@ def test_columnar_vs_scalar_pool_sized(seed):
     # Big enough that the process executor genuinely fans the batch
     # kernels out to pool workers in both modes.
     check_columnar_differential(mtm_like(num_pis=12, num_nodes=250, seed=seed))
+
+
+@pytest.mark.parametrize("seed", SMOKE_SEEDS[:6])
+def test_columnar_enum_vs_scalar_smoke(seed):
+    check_enum_differential(fuzz_circuit(seed))
+
+
+@pytest.mark.parametrize("seed", (303,))
+def test_columnar_enum_vs_scalar_pool_sized(seed):
+    # Big enough that the process executor genuinely fans the merge
+    # worklists out to pool workers in both modes.
+    check_enum_differential(mtm_like(num_pis=12, num_nodes=250, seed=seed))
 
 
 @pytest.mark.parametrize("seed", (101, 202))
@@ -192,3 +246,9 @@ def test_fuzz_full_sweep(seed):
 @pytest.mark.parametrize("seed", SLOW_SEEDS)
 def test_columnar_vs_scalar_full_sweep(seed):
     check_columnar_differential(fuzz_circuit(seed))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SLOW_SEEDS)
+def test_columnar_enum_vs_scalar_full_sweep(seed):
+    check_enum_differential(fuzz_circuit(seed))

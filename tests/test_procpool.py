@@ -210,11 +210,15 @@ class TestCrossExecutorEquivalence:
         # per-chunk in enum fan-out workers, so its raw hit/miss counts
         # legitimately diverge (worker-side counts are reported under
         # worker_cut_tt_cache_*).  Everything data-driven must match.
-        memo_counters = {"cut_tt_cache_hits_total", "cut_tt_cache_misses_total"}
+        memo_counters = {
+            "cut_tt_cache_hits_total", "cut_tt_cache_misses_total",
+            "cut_expand_cache_evictions_total",
+        }
         proc_only_counters = (
             "snapshot_bytes_shipped_total",
             "worker_snapshot_cache_",
             "worker_cut_tt_cache_",
+            "worker_cut_expand_cache_",
         )
 
         def split(counters):
@@ -241,7 +245,10 @@ class TestCrossExecutorEquivalence:
         # legitimately differ: kernel seconds are wall-clock, and the
         # batch size is one whole worklist in-process versus one chunk
         # per observation under the pool's fan-out.
-        batch_shape = {"eval_kernel_seconds", "eval_batch_size"}
+        batch_shape = {
+            "eval_kernel_seconds", "eval_batch_size",
+            "enum_kernel_seconds", "enum_batch_size",
+        }
         shared = set(snap_sim["histograms"]) & set(snap_proc["histograms"])
         assert set(snap_sim["histograms"]) - set(snap_proc["histograms"]) == set()
         extras = set(snap_proc["histograms"]) - set(snap_sim["histograms"])
