@@ -554,6 +554,27 @@ class Aig:
             self._life[v] = self._stamp[v]
             self.generation += 1
 
+    def add_ref(self, var: int) -> None:
+        """Take a protection reference on ``var``.
+
+        Keeps a pending splice target alive across deletion cascades —
+        the same pattern :meth:`replace` uses internally for its queued
+        targets, exposed for multi-step splices (shard merging redirects
+        several POs whose new drivers may share the old cones' nodes).
+        Must be balanced by :meth:`drop_ref`.
+        """
+        if self._kind[var] == KIND_DEAD:
+            raise AigError(f"cannot protect dead node {var}")
+        self._nref[var] += 1
+        self._touch(var)
+
+    def drop_ref(self, var: int) -> None:
+        """Release a protection reference taken by :meth:`add_ref`,
+        deleting the node if it is now unreferenced."""
+        self._nref[var] -= 1
+        self._touch(var)
+        self._deref_delete(var)
+
     def delete_if_dangling(self, var: int) -> None:
         """Delete ``var`` (and transitively-freed fanins) if it is a
         live AND node with no references — used to recycle nodes that

@@ -434,6 +434,80 @@ def _bench_snapshot_delta(quick: bool) -> Dict[str, object]:
     }
 
 
+def _bench_sharded_rewrite(quick: bool, jobs: Optional[int]) -> Dict[str, object]:
+    """Shard-parallel scaling curve: the whole rewrite pipeline at 1,
+    2 and 4 shards on the same circuit, all through the process
+    executor.  ``shards=1`` is the unsharded level pipeline — the
+    honest baseline a sharded run must beat.  Every rewritten graph is
+    checked functionally equivalent to the untouched base circuit via
+    simulation signatures; that boolean (not the speedup) is what
+    ``--check`` gates, since wall-clock scaling is meaningless on a
+    single-core container — workers time-slice one CPU and
+    ``speedup_at_4`` lands near 1.0 there by construction.
+    """
+    import dataclasses
+
+    from ..aig.simulate import random_simulation
+    from ..core.dacpara import DACParaRewriter
+    from ..core.partition import extract_regions
+
+    num_nodes = 2000 if quick else 52000
+    shard_min_nodes = 64 if quick else 256
+
+    def fresh():
+        return mtm_like(num_pis=24, num_nodes=num_nodes, seed=7)
+
+    base = fresh()
+    base_sig = random_simulation(base, width=256, seed=1)
+    plan = extract_regions(base, 4, shard_min_nodes)
+    # Single-core default resolves to one job, which serializes the
+    # shard fan-out entirely; force enough jobs to cover the shards.
+    used_jobs = jobs if jobs is not None else max(4, os.cpu_count() or 1)
+
+    curve = []
+    for shards in (1, 2, 4):
+        aig = fresh()
+        config = dataclasses.replace(
+            dacpara_config(),
+            shards=shards,
+            shard_min_nodes=shard_min_nodes,
+            executor="process",
+            jobs=used_jobs,
+        )
+        engine = DACParaRewriter(config=config)
+        t0 = time.perf_counter()
+        result = engine.run(aig)
+        seconds = time.perf_counter() - t0
+        equivalent = random_simulation(aig, width=256, seed=1) == base_sig
+        assert equivalent, f"sharded rewrite at {shards} shards diverged"
+        curve.append({
+            "shards": shards,
+            "shards_used": result.shards,
+            "seconds": round(seconds, 6),
+            "nodes_per_second": round(base.num_ands / seconds, 1)
+            if seconds > 0 else None,
+            "area_after": result.area_after,
+            "replacements": result.replacements,
+            "equivalent": equivalent,
+        })
+
+    t1 = curve[0]["seconds"]
+    t2 = curve[1]["seconds"]
+    t4 = curve[2]["seconds"]
+    return {
+        "circuit": base.name,
+        "nodes": base.num_ands,
+        "pos": len(base.pos),
+        "boundary_frozen": len(plan.boundary) if plan is not None else None,
+        "jobs": used_jobs,
+        "curve": curve,
+        "equivalent": all(entry["equivalent"] for entry in curve),
+        "speedup_at_2": round(t1 / t2, 2) if t2 > 0 else None,
+        "speedup_at_4": round(t1 / t4, 2) if t4 > 0 else None,
+        "sharded_nodes_per_second": curve[-1]["nodes_per_second"],
+    }
+
+
 def run_hotpath_bench(quick: bool = False, jobs: Optional[int] = None) -> Dict[str, object]:
     """Run all the micro-benchmarks; returns the report dict."""
     return {
@@ -450,6 +524,7 @@ def run_hotpath_bench(quick: bool = False, jobs: Optional[int] = None) -> Dict[s
         "batch_eval": _bench_batch_eval(quick),
         "degraded_eval": _bench_degraded_eval(quick, jobs),
         "snapshot_delta": _bench_snapshot_delta(quick),
+        "sharded_rewrite": _bench_sharded_rewrite(quick, jobs),
     }
 
 

@@ -43,6 +43,8 @@ TRACKED_METRICS: Tuple[Tuple[str, str], ...] = (
     ("batch_eval.speedup", "higher"),
     ("degraded_eval.overhead_ratio", "lower"),
     ("snapshot_delta.reduction", "higher"),
+    ("sharded_rewrite.sharded_nodes_per_second", "higher"),
+    ("sharded_rewrite.speedup_at_4", "higher"),
 )
 
 DEFAULT_THRESHOLD = 0.15

@@ -66,6 +66,17 @@ class RewriteConfig:
     # "mode@stage:chunk[:fires]" (mode = kill/hang/raise/corrupt)
     # separated by "," or ";"; None falls back to $REPRO_FAULT_PLAN.
     fault_plan: Optional[str] = None
+    # Shard-parallel rewriting: split the graph into up to this many
+    # TFI/TFO-disjoint PO-cone regions and run the *whole* pipeline per
+    # shard concurrently (boundary nodes frozen).  1 = the unsharded
+    # level pipeline; graphs that do not decompose (single cone, too
+    # small) fall back to it automatically.
+    shards: int = 1
+    # Floor on the owned-node count a balanced shard must reach: the
+    # extractor lowers the shard count (and, below two usable shards,
+    # disables sharding) rather than fan out regions too small to pay
+    # for their snapshot round-trip.
+    shard_min_nodes: int = 256
     # Evaluation-stage engine: True scores whole chunks of candidates
     # through the columnar batch kernels (numpy NPN/class gathers plus
     # a deref-hoisted scoring loop over flat columns); False routes
@@ -120,6 +131,10 @@ class RewriteConfig:
             raise ConfigError("pool_restart_budget must be >= 0")
         if self.flight_recorder_size < 1:
             raise ConfigError("flight_recorder_size must be >= 1")
+        if self.shards < 1:
+            raise ConfigError("shards must be >= 1")
+        if self.shard_min_nodes < 1:
+            raise ConfigError("shard_min_nodes must be >= 1")
         if self.fault_plan is not None:
             from .galois.procpool import FaultPlan
 

@@ -10,9 +10,14 @@ from ..config import (
     iccad18_config,
 )
 from .dacpara import DACParaRewriter
-from .partition import node_dividing
+from .partition import Shard, ShardPlan, extract_regions, node_dividing
 from .prep_info import PrepInfo
-from .validation import ValidationStats, validate_candidate
+from .validation import (
+    ShardMergeStats,
+    ValidationStats,
+    validate_candidate,
+    validate_shard_payload,
+)
 
 __all__ = [
     "RewriteConfig",
@@ -24,7 +29,12 @@ __all__ = [
     "iccad18_config",
     "DACParaRewriter",
     "node_dividing",
+    "Shard",
+    "ShardPlan",
+    "extract_regions",
     "PrepInfo",
+    "ShardMergeStats",
     "ValidationStats",
     "validate_candidate",
+    "validate_shard_payload",
 ]

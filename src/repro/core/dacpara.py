@@ -61,9 +61,24 @@ class DACParaRewriter:
         self.obs = observer if observer is not None else NULL_OBSERVER
         self.last_stats = None  # ExecutionStats of the most recent run
         self.last_validation_stats = None
+        self.last_shard_stats = None  # ShardMergeStats of a sharded run
 
     def run(self, aig: Aig) -> RewriteResult:
-        """Rewrite ``aig`` in place (Algorithm 1); returns the record."""
+        """Rewrite ``aig`` in place (Algorithm 1); returns the record.
+
+        With ``config.shards > 1`` the graph is first split into
+        TFI/TFO-disjoint regions and the whole pipeline runs per shard
+        (:mod:`repro.core.shards`); graphs that do not decompose —
+        single cone, too small, fewer cones than shards — fall back to
+        the unsharded level pipeline below.
+        """
+        self.last_shard_stats = None
+        if self.config.shards > 1 and self.partition == "level":
+            from .shards import run_sharded
+
+            sharded = run_sharded(self, aig)
+            if sharded is not None:
+                return sharded
         config = self.config
         obs = self.obs
         executor = make_executor(

@@ -1,0 +1,315 @@
+"""Shard-parallel rewriting: the full pipeline per TFI/TFO-disjoint region.
+
+The level pipeline in :mod:`repro.core.dacpara` fans out one worklist
+at a time from a single parent — at the paper's multi-million-node
+scale the per-level barrier itself becomes the serial bottleneck.
+This module runs divide-and-conquer one level up:
+
+1. :func:`~repro.core.partition.extract_regions` splits the graph into
+   TFI/TFO-disjoint shards (PO-cone groups with frozen boundary
+   nodes);
+2. each shard is extracted into a self-contained sub-AIG (support
+   nodes become pseudo-PIs) and the *entire*
+   enumerate/evaluate/replace level pipeline runs on it — on pool
+   workers via :meth:`~repro.galois.procpool.ProcessExecutor.run_shards`
+   (the graph ships once as a shared-memory snapshot; each shard task
+   is only its var lists), or sequentially in-parent for the
+   in-process executors;
+3. results come back as renumbered node lists and are spliced into the
+   parent graph through :func:`~repro.core.validation.
+   validate_shard_payload` — rebuilding through ``Aig.and_`` *is* the
+   boundary re-strash: unchanged subcones hash back onto the existing
+   nodes, and the old cones die by reference-count cascade once the
+   POs are redirected.
+
+Because boundary nodes are frozen (they are support, never owned),
+shards cannot observe each other's mutations; each worker's rewrite is
+fully deterministic (simulated executor inside), so a sharded run is
+reproducible at fixed seed/shard count and the in-parent fault
+fallback reproduces a lost worker's payload exactly.  The cost of the
+freeze is QoR: boundary nodes and cuts crossing them are never
+rewritten, so a sharded pass trades a little area recovery for
+shard-level parallelism.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..aig import Aig, LIT_FALSE, lit_var, make_lit
+from ..aig.simulate import random_simulation
+from ..rewrite.result import RewriteResult
+from .partition import Shard, ShardPlan, extract_regions
+from .validation import ShardMergeStats, validate_shard_payload
+
+#: Simulation width of the worker-side pre/post equivalence guard.
+SHARD_CHECK_WIDTH = 64
+
+
+def shard_subconfig(config):
+    """The per-shard run configuration: sharding disabled (no nested
+    pools — the worker pipeline runs on the simulated executor), fault
+    injection cleared (faults are injected at the shard fan-out, not
+    inside the already-failed worker), telemetry off."""
+    return dataclasses.replace(
+        config,
+        shards=1,
+        executor="simulated",
+        fault_plan=None,
+        wall_telemetry=False,
+    )
+
+
+def build_shard_aig(src, shard: Shard) -> Tuple[Aig, Dict[int, int]]:
+    """Extract ``shard`` from ``src`` (a live Aig or an AigSnapshot)
+    into a fresh sub-AIG.
+
+    Support nodes become the sub-graph's PIs in ``shard.support``
+    order; owned nodes are replayed through ``and_`` in topological
+    order (the parent is strashed, so live nodes never fold — the
+    rebuild is 1:1); the shard's POs close the cones.  Returns the
+    sub-AIG and the parent-var → sub-literal mapping.
+    """
+    sub = Aig()
+    mapping: Dict[int, int] = {0: LIT_FALSE}
+    for v in shard.support:
+        mapping[v] = sub.add_pi()
+    fanin0 = src.fanin0
+    fanin1 = src.fanin1
+    for v in shard.owned:
+        f0 = fanin0(v)
+        f1 = fanin1(v)
+        mapping[v] = sub.and_(
+            mapping[lit_var(f0)] ^ (f0 & 1),
+            mapping[lit_var(f1)] ^ (f1 & 1),
+        )
+    for _po_index, po_lit in shard.pos:
+        sub.add_po(mapping[lit_var(po_lit)] ^ (po_lit & 1))
+    return sub, mapping
+
+
+def _serialize_sub(sub: Aig, k: int) -> Tuple[List[tuple], List[int]]:
+    """Renumber the rewritten sub-AIG into a payload the parent can
+    splice: const is 0, support PIs are ``1..k`` (creation order), and
+    PO-reachable ANDs take ``k+1..`` in topological order.  Dangling
+    sub nodes are dropped — they must not materialize in the parent.
+    """
+    reach: set = set()
+    stack = [lit_var(sub.po_lit(i)) for i in range(sub.num_pos)]
+    while stack:
+        v = stack.pop()
+        if v in reach or not sub.is_and(v):
+            continue
+        reach.add(v)
+        stack.append(lit_var(sub.fanin0(v)))
+        stack.append(lit_var(sub.fanin1(v)))
+    remap = {0: 0}
+    for i in range(k):
+        remap[i + 1] = i + 1  # PI vars of a fresh Aig are 1..k
+    nodes: List[tuple] = []
+    for v in sub.topo_ands():
+        if v not in reach:
+            continue
+        remap[v] = k + 1 + len(nodes)
+        f0 = sub.fanin0(v)
+        f1 = sub.fanin1(v)
+        nodes.append((
+            remap[lit_var(f0)] * 2 | (f0 & 1),
+            remap[lit_var(f1)] * 2 | (f1 & 1),
+        ))
+    outs = []
+    for i in range(sub.num_pos):
+        lit = sub.po_lit(i)
+        outs.append(remap[lit_var(lit)] * 2 | (lit & 1))
+    return nodes, outs
+
+
+def rewrite_shard(src, shard: Shard, config) -> dict:
+    """Run the full DACPara pipeline on one shard; returns the splice
+    payload.
+
+    Runs identically against the live graph (sequential in-process
+    mode, fault fallback) or a snapshot (pool worker): the sub-AIG
+    build reads only fanins and levels, and the rewrite inside is
+    deterministic, so every path produces the same payload bytes.
+    ``ok`` records the worker-side pre/post simulation-signature
+    check — a guard the merge validation refuses to splice without.
+    """
+    from .dacpara import DACParaRewriter
+
+    start = time.perf_counter()
+    sub, _ = build_shard_aig(src, shard)
+    ands_before = sub.num_ands
+    pre = random_simulation(sub, width=SHARD_CHECK_WIDTH, seed=config.seed)
+    engine = DACParaRewriter(
+        config=shard_subconfig(config), executor_kind="simulated"
+    )
+    result = engine.run(sub)
+    post = random_simulation(sub, width=SHARD_CHECK_WIDTH, seed=config.seed)
+    nodes, outs = _serialize_sub(sub, len(shard.support))
+    return {
+        "ok": pre == post,
+        "nodes": nodes,
+        "outs": outs,
+        "ands_before": ands_before,
+        "ands_after": sub.num_ands,
+        "counters": {
+            "replacements": result.replacements,
+            "attempted": result.attempted,
+            "validation_failures": result.validation_failures,
+            "revalidated": result.revalidated,
+            "work_units": result.work_units,
+            "makespan_units": result.makespan_units,
+            "conflicts": result.conflicts,
+            "aborted_units": result.aborted_units,
+            "passes": result.passes,
+            "stage_units": dict(result.stage_units),
+        },
+        "wall_seconds": time.perf_counter() - start,
+    }
+
+
+def splice_shard(
+    aig: Aig, shard: Shard, payload: dict, stats: ShardMergeStats
+) -> bool:
+    """Validate and splice one shard's payload into the parent graph.
+
+    Rebuilding through ``and_`` re-strashes the shard against the live
+    graph (unchanged subcones — and nodes shared with the boundary —
+    hash onto existing nodes instead of duplicating them), then the
+    shard's POs are redirected and the displaced cones die by
+    reference-count cascade.  New out drivers carry protection
+    references across the redirects: an earlier PO's deletion cascade
+    could otherwise free a strash-hit node a later PO still needs.
+    """
+    if not validate_shard_payload(aig, shard, payload, stats):
+        return False
+    if payload["counters"]["replacements"] == 0:
+        # Nothing changed: splicing would rebuild the identical cones.
+        stats.skipped_no_gain += 1
+        return False
+    k = len(shard.support)
+    lits = [LIT_FALSE] * (k + 1 + len(payload["nodes"]))
+    for i, v in enumerate(shard.support):
+        lits[i + 1] = make_lit(v)
+    for j, (a, b) in enumerate(payload["nodes"]):
+        lits[k + 1 + j] = aig.and_(
+            lits[a >> 1] ^ (a & 1), lits[b >> 1] ^ (b & 1)
+        )
+    out_lits = [lits[o >> 1] ^ (o & 1) for o in payload["outs"]]
+    protected = []
+    for lit in out_lits:
+        v = lit_var(lit)
+        if aig.is_and(v):
+            aig.add_ref(v)
+            protected.append(v)
+    for (po_index, _old_lit), lit in zip(shard.pos, out_lits):
+        aig.set_po(po_index, lit)
+    for v in protected:
+        aig.drop_ref(v)
+    stats.spliced += 1
+    return True
+
+
+def run_sharded(rewriter, aig: Aig) -> Optional[RewriteResult]:
+    """The sharded top level: extract regions, rewrite each shard's
+    sub-AIG (concurrently on the process pool, sequentially otherwise),
+    splice the results back.  Returns None when the graph does not
+    decompose (the caller then runs the unsharded pipeline)."""
+    from ..galois import make_executor
+    from ..library import get_library
+
+    config = rewriter.config
+    plan = extract_regions(aig, config.shards, config.shard_min_nodes)
+    if plan is None:
+        return None
+    obs = rewriter.obs
+    if obs.enabled:
+        obs.count("shard_boundary_frozen_total", len(plan.boundary))
+        obs.gauge("shard_plan_shards", plan.num_shards)
+        for shard in plan.shards:
+            obs.observe("shard_nodes", len(shard.owned))
+
+    result = RewriteResult(
+        engine=rewriter.name,
+        workers=config.workers,
+        area_before=aig.num_ands,
+        area_after=aig.num_ands,
+        delay_before=aig.max_level(),
+        delay_after=aig.max_level(),
+        shards=plan.num_shards,
+    )
+    run_span = None
+    if obs.enabled:
+        run_span = obs.begin(
+            "sharded_run", "run", 0, engine=rewriter.name,
+            shards=plan.num_shards, boundary=len(plan.boundary),
+            area_before=aig.num_ands,
+        )
+
+    tasks = [(shard.index, shard) for shard in plan.shards]
+    # Pool workers rebuild the structure library via get_library(), so
+    # a custom library keeps the whole fan-out in-parent (same rule as
+    # the native eval stage).
+    use_pool = (
+        rewriter.executor_kind == "process"
+        and rewriter.library is get_library()
+    )
+    executor = None
+    if use_pool:
+        executor = make_executor(
+            "process", config.workers, observer=obs, jobs=rewriter.jobs
+        )
+        try:
+            merged = executor.run_shards(aig, tasks, config)
+        finally:
+            executor.close()
+    else:
+        merged = []
+        for index, shard in tasks:
+            payload = rewrite_shard(aig, shard, config)
+            merged.append(
+                (index, payload, payload["counters"]["work_units"])
+            )
+
+    stats = ShardMergeStats()
+    stage_units: Dict[str, int] = {}
+    makespan = 0
+    # Splice in shard-index order — the merge order is part of the
+    # deterministic contract regardless of which worker finished first.
+    for index, payload, _units in sorted(merged, key=lambda entry: entry[0]):
+        shard = plan.shards[index]
+        spliced = splice_shard(aig, shard, payload, stats)
+        if isinstance(payload, dict) and "counters" in payload:
+            c = payload["counters"]
+            result.work_units += c.get("work_units", 0)
+            makespan = max(makespan, c.get("makespan_units", 0))
+            result.conflicts += c.get("conflicts", 0)
+            result.aborted_units += c.get("aborted_units", 0)
+            result.passes = max(result.passes, c.get("passes", 0))
+            for name, units in c.get("stage_units", {}).items():
+                stage_units[name] = stage_units.get(name, 0) + units
+            if spliced:
+                result.replacements += c.get("replacements", 0)
+                result.attempted += c.get("attempted", 0)
+                result.validation_failures += c.get("validation_failures", 0)
+                result.revalidated += c.get("revalidated", 0)
+            if obs.enabled:
+                obs.observe("shard_wall_seconds", payload.get("wall_seconds", 0.0))
+
+    result.makespan_units = makespan
+    result.stage_units = stage_units
+    result.area_after = aig.num_ands
+    result.delay_after = aig.max_level()
+    if obs.enabled:
+        for cause, n in stats.as_dict().items():
+            if n:
+                obs.count("shard_merge_total", n, outcome=cause)
+        obs.end(run_span, 0, area_after=aig.num_ands,
+                replacements=result.replacements)
+    rewriter.last_stats = executor.stats if executor is not None else None
+    rewriter.last_validation_stats = None
+    rewriter.last_shard_stats = stats
+    return result

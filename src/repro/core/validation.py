@@ -57,6 +57,89 @@ class ValidationStats:
         return {name: getattr(self, name) for name in self.__slots__}
 
 
+class ShardMergeStats:
+    """Counters for the shard-merge validation decisions.
+
+    The same Section-4.4 philosophy as :class:`ValidationStats`, lifted
+    from one candidate to one shard: a shard's rewrite result is only
+    spliced back when its inputs (the frozen support nodes) still exist
+    in the same incarnation and the worker's own pre/post equivalence
+    check passed; anything else conservatively keeps the original
+    region — which is still functionally correct, just unoptimized.
+    """
+
+    __slots__ = ("spliced", "skipped_no_gain", "worker_check_failed",
+                 "support_dead", "support_recycled", "malformed_payload")
+
+    def __init__(self) -> None:
+        self.spliced = 0
+        self.skipped_no_gain = 0
+        self.worker_check_failed = 0
+        self.support_dead = 0
+        self.support_recycled = 0
+        self.malformed_payload = 0
+
+    @property
+    def failed(self) -> int:
+        return (self.worker_check_failed + self.support_dead
+                + self.support_recycled + self.malformed_payload)
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+def validate_shard_payload(
+    aig: Aig, shard, payload, stats: ShardMergeStats
+) -> bool:
+    """Validate one shard's rewrite payload against the latest graph.
+
+    Checks, in order: the payload is structurally well-formed (a worker
+    returning garbage must not corrupt the splice); the worker's own
+    pre/post simulation-signature check passed; and every support node
+    is still alive in the same incarnation (unchanged life stamp — the
+    Fig. 3 deleted-and-reused hazard applied to shard inputs; sibling
+    shards never touch each other's support by construction, so a
+    mismatch means the plan went stale).  Returns True when the splice
+    may proceed.
+    """
+    if not isinstance(payload, dict):
+        stats.malformed_payload += 1
+        return False
+    nodes = payload.get("nodes")
+    outs = payload.get("outs")
+    if not isinstance(nodes, list) or not isinstance(outs, list) \
+            or len(outs) != len(shard.pos):
+        stats.malformed_payload += 1
+        return False
+    k = len(shard.support)
+    for j, entry in enumerate(nodes):
+        if not isinstance(entry, tuple) or len(entry) != 2:
+            stats.malformed_payload += 1
+            return False
+        cap = 2 * (k + 1 + j)  # fanins: const, supports, earlier nodes
+        a, b = entry
+        if not (isinstance(a, int) and isinstance(b, int)
+                and 0 <= a < cap and 0 <= b < cap):
+            stats.malformed_payload += 1
+            return False
+    limit = 2 * (k + 1 + len(nodes))
+    for lit in outs:
+        if not (isinstance(lit, int) and 0 <= lit < limit):
+            stats.malformed_payload += 1
+            return False
+    if not payload.get("ok"):
+        stats.worker_check_failed += 1
+        return False
+    for var, life in zip(shard.support, shard.support_life):
+        if aig.is_dead(var):
+            stats.support_dead += 1
+            return False
+        if aig.life_stamp(var) != life:
+            stats.support_recycled += 1
+            return False
+    return True
+
+
 def validate_candidate(
     aig: Aig,
     cutman: CutManager,

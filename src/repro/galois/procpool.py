@@ -494,6 +494,44 @@ def _enum_chunk(ref, tasks, config, fault: Optional[str] = None,
     return out, collector, tele
 
 
+def _shard_tasks(aig_like, tasks, config, collector) -> List[Tuple[int, object, int]]:
+    """Run the full rewrite pipeline on each ``(index, shard)`` task.
+
+    Like the eval/enum twins, runs identically against the live graph
+    (in-parent fallback) or a snapshot (worker side): the per-shard
+    rewrite is deterministic, so every recovery path reproduces the
+    exact payload a healthy worker would have returned.  Returns
+    ``(index, payload, work-units)`` triples.
+    """
+    from ..core.shards import rewrite_shard
+
+    out: List[Tuple[int, object, int]] = []
+    for index, shard in tasks:
+        payload = rewrite_shard(aig_like, shard, config)
+        collector.count("shard_runs_total")
+        out.append((index, payload, payload["counters"]["work_units"]))
+    return out
+
+
+def _shard_chunk(ref, tasks, config, fault: Optional[str] = None,
+                 telemetry: Optional[tuple] = None):
+    """Worker entry point for shard fan-out: resolve the snapshot and
+    run the whole pipeline on each shard of the chunk."""
+    if fault is not None:
+        _execute_fault(fault)
+    tele = _begin_telemetry(telemetry, tasks)
+    collector = _MetricCollector()
+    snapshot = _resolve_snapshot(ref, collector)
+    if tele is not None:
+        tele.enter("compute")
+    out = _shard_tasks(snapshot, tasks, config, collector)
+    if fault == "corrupt":
+        out = _corrupt_results(out)
+    if tele is not None:
+        tele.done(results=len(out))
+    return out, collector, tele
+
+
 def _warm_shared_state(config) -> None:
     """Build the heavyweight read-only tables in the parent before the
     pool forks, so workers inherit them copy-on-write instead of each
@@ -1174,6 +1212,69 @@ class ProcessExecutor(SimulatedExecutor):
                 snapshot_bytes=snapshot_bytes,
             )
         return stage
+
+    # -- the shard fan-out --------------------------------------------
+
+    def run_shards(self, aig, tasks, config) -> List[tuple]:
+        """Fan whole-shard rewrites out to pool workers.
+
+        ``tasks`` are ``(index, Shard)`` pairs; the graph ships once as
+        a (shared-memory) snapshot and each chunk carries only a
+        shard's var lists.  One shard per chunk: a shard is the unit of
+        retry, quarantine and fault injection (stage name ``"shard"``
+        in the fault plan), and the in-parent fallback recomputes it
+        against the live graph with identical results.  Returns the
+        ``(index, payload, units)`` triples, unordered.
+        """
+        try:
+            return self._run_shard_fanout(aig, tasks, config)
+        except BaseException:
+            self._shipper.release()
+            raise
+
+    def _run_shard_fanout(self, aig, tasks, config) -> List[tuple]:
+        start_wall = time.perf_counter()
+        start_time = time.time()
+        collector = _MetricCollector()
+        pool = self._ensure_pool()
+        chunks = 0
+        if pool is None:
+            merged = _shard_tasks(aig, tasks, config, collector)
+        else:
+            _warm_shared_state(config)
+            ref, ref_bytes, kind, ratio = self._shipper.stage_ref(aig, config)
+            if self.obs.enabled and kind == "delta":
+                self.obs.observe("snapshot_delta_ratio", ratio)
+            parts = [[task] for task in tasks]
+            chunks = len(parts)
+            self._account_bytes("shard", kind, ref_bytes * chunks)
+            try:
+                merged = self._collect_chunks(
+                    pool, _shard_chunk, ref, parts, config, collector,
+                    "shard",
+                    lambda chunk, coll: _shard_tasks(
+                        aig, chunk, config, coll
+                    ),
+                )
+            except (OSError, MemoryError) as exc:
+                self._warn_fallback(f"shard fan-out failed ({exc})")
+                self._pool_broken = True
+                self.close()
+                merged = _shard_tasks(aig, tasks, config, collector)
+        fanout_wall = time.perf_counter() - start_wall
+        obs = self.obs
+        if obs.enabled:
+            collector.replay_into(obs)
+            obs.observe("shard_fanout_wall_seconds", fanout_wall)
+            wall = self._wall_for(config)
+            if wall is not None and chunks:
+                wall.parent_span(
+                    "shard_fanout", start_time, time.time(),
+                    stage="shard", shards=len(tasks), chunks=chunks,
+                    jobs=self.jobs,
+                )
+                self._update_pool_gauges(wall)
+        return merged
 
     # -- the native enum stage ----------------------------------------
 

@@ -32,6 +32,8 @@ class RewriteResult:
     validation_failures: int = 0
     revalidated: int = 0
     stage_units: Dict[str, int] = field(default_factory=dict)
+    # Region count of a sharded run (0 = the unsharded level pipeline).
+    shards: int = 0
 
     @property
     def area_reduction(self) -> int:
@@ -73,6 +75,7 @@ class RewriteResult:
             "validation_failures": self.validation_failures,
             "revalidated": self.revalidated,
             "stage_units": dict(self.stage_units),
+            "shards": self.shards,
         }
 
     def summary(self) -> str:

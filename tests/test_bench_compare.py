@@ -33,6 +33,10 @@ def _report(**overrides):
         },
         "degraded_eval": {"overhead_ratio": 1.2},
         "snapshot_delta": {"reduction": 20.0},
+        "sharded_rewrite": {
+            "sharded_nodes_per_second": 4_500.0,
+            "speedup_at_4": 2.0,
+        },
     }
     for path, value in overrides.items():
         section, key = path.split(".")
@@ -159,6 +163,9 @@ class TestBenchCompareCli:
         current["snapshot_delta"].update(
             full_bytes_per_stage=1000.0, delta_bytes_per_stage=50.0,
             recaptures=0, stages=6)
+        current["sharded_rewrite"].update(
+            nodes=2000, jobs=4, boundary_frozen=100, equivalent=True,
+            curve=[{"shards": s, "seconds": 1.0} for s in (1, 2, 4)])
         baseline_ok = tmp_path / "base_ok.json"
         baseline_ok.write_text(json.dumps(_report()))
         baseline_bad = tmp_path / "base_bad.json"

@@ -133,6 +133,72 @@ class TestChaosMatrix:
             assert _counter(obs, name) == 0
 
 
+class TestShardChaos:
+    """Shard-grained fault injection: each shard ships as its own chunk
+    (``mode@shard:N`` targets shard N), so a faulted shard worker must
+    retry / restart / quarantine *without poisoning sibling shards* —
+    they complete on worker cores — and the merged graph must stay
+    byte-identical to the fault-free sequential sharded run (whose own
+    equivalence to the input is pinned by the differential fuzz
+    suite)."""
+
+    BASE = staticmethod(lambda: mtm_like(num_pis=12, num_nodes=250, seed=404))
+
+    def _cfg(self, **over):
+        return dataclasses.replace(
+            dacpara_config(workers=8), shards=4, shard_min_nodes=1, **over
+        )
+
+    @pytest.mark.parametrize("mode", ["raise", "corrupt", "kill", "hang"])
+    def test_byte_identity_under_shard_fault(self, mode, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_HANG_SECONDS", HANG_SECONDS)
+        base = self.BASE()
+        r_seq, a_seq, _ = _run(base, "simulated", config=self._cfg())
+        assert r_seq.shards >= 2  # sharding genuinely engaged
+        cfg = self._cfg(
+            fault_plan=f"{mode}@shard:0",
+            chunk_timeout_seconds=1.0,
+        )
+        r_proc, a_proc, obs = _run(base, "process", config=cfg)
+        assert result_fingerprint(r_proc) == result_fingerprint(r_seq)
+        assert aig_fingerprint(a_proc) == aig_fingerprint(a_seq)
+        # Sibling shards were never dragged in-parent: at most the one
+        # faulted shard chunk fell back.
+        fallbacks = _counter(obs, "chunk_fallback_total")
+        assert fallbacks <= 1
+        assert fallbacks < r_proc.shards
+        if mode in ("raise", "corrupt"):
+            assert _counter(obs, "chunk_retries_total") >= 1
+            assert fallbacks == 0
+        if mode == "kill":
+            assert _counter(obs, "pool_restarts_total") >= 1
+        if mode == "hang":
+            assert _counter(obs, "chunk_timeouts_total") >= 1
+            assert fallbacks == 1
+
+    def test_poisoned_shard_quarantines_without_spreading(self):
+        """A shard that fails on every attempt ends in quarantine and
+        in-parent recompute; its siblings still run pool-side and the
+        merged result is byte-identical and equivalent to the input."""
+        from repro.sat import check_equivalence_auto
+
+        base = self.BASE()
+        r_seq, a_seq, _ = _run(base, "simulated", config=self._cfg())
+        cfg = self._cfg(
+            fault_plan="raise@shard:0:100000",
+            chunk_max_retries=1,
+        )
+        r_proc, a_proc, obs = _run(base, "process", config=cfg)
+        assert result_fingerprint(r_proc) == result_fingerprint(r_seq)
+        assert aig_fingerprint(a_proc) == aig_fingerprint(a_seq)
+        assert check_equivalence_auto(base, a_proc).equivalent
+        assert _counter(obs, "quarantined_chunks_total") >= 1
+        # Exactly the poisoned shard degraded; the siblings' payloads
+        # still came back from worker cores.
+        assert _counter(obs, "chunk_fallback_total") == 1
+        assert r_proc.shards >= 2
+
+
 class TestPoolCrashRecovery:
     """A killed worker mid-stage: the stage completes, the pool
     restarts within budget, and the output equals simulated mode."""

@@ -1,0 +1,218 @@
+"""Property suite for the shard region extractor.
+
+:func:`repro.core.partition.extract_regions` justifies running the
+whole rewrite pipeline per shard concurrently with the same Theorem-1
+argument the level pipeline uses for same-level nodes — so its output
+must actually *have* the properties the theorem needs:
+
+* coverage — every PO-reachable AND node lands in exactly one bucket
+  (owned by one shard, or frozen boundary); live-but-unreachable nodes
+  are the ``dangling`` set and nothing else;
+* TFI/TFO-disjointness — no shard's owned node lies in the transitive
+  fanin or fanout of another shard's owned nodes;
+* boundary minimality — every frozen node is genuinely shared (it
+  reaches the POs of at least two shards), so no node is frozen that
+  could have been owned;
+* support closure — a shard reads only PIs and boundary nodes from
+  outside itself, which is what lets the sub-AIG treat them as
+  pseudo-PIs.
+
+Degenerate graphs (empty, single cone, fewer cones than shards, too
+small for ``min_nodes``) must return ``None`` — the caller's signal to
+fall back to the unsharded level pipeline — and the decomposition must
+be deterministic, because shard payloads are part of the reproducible
+byte-identity contract.
+"""
+
+from __future__ import annotations
+
+from repro.aig import Aig, lit_var
+from repro.aig.traversal import tfi, tfo
+from repro.bench import mtm_like
+from repro.core.partition import extract_regions
+
+from conftest import random_aig
+
+CIRCUITS = (
+    lambda: random_aig(num_pis=6, num_nodes=60, num_pos=5, seed=3),
+    lambda: random_aig(num_pis=8, num_nodes=140, num_pos=8, seed=11),
+    lambda: mtm_like(num_pis=12, num_nodes=250, seed=101),
+    lambda: mtm_like(num_pis=12, num_nodes=400, seed=5),
+)
+
+
+def _plans():
+    for make in CIRCUITS:
+        aig = make()
+        for num_shards in (2, 3, 4, 8):
+            plan = extract_regions(aig, num_shards, min_nodes=1)
+            if plan is not None:
+                yield aig, plan
+
+
+def _reachable(aig):
+    seen = set()
+    stack = [lit_var(lit) for lit in aig.pos]
+    while stack:
+        v = stack.pop()
+        if v in seen or not aig.is_and(v):
+            continue
+        seen.add(v)
+        stack.append(lit_var(aig.fanin0(v)))
+        stack.append(lit_var(aig.fanin1(v)))
+    return seen
+
+
+def test_every_live_node_in_exactly_one_bucket():
+    checked = 0
+    for aig, plan in _plans():
+        checked += 1
+        reachable = _reachable(aig)
+        owned_all = []
+        for shard in plan.shards:
+            owned_all.extend(shard.owned)
+        # Owned sets are pairwise disjoint and disjoint from boundary.
+        assert len(owned_all) == len(set(owned_all))
+        assert not set(owned_all) & plan.boundary
+        # Owned + boundary tile the PO-reachable ANDs exactly.
+        assert set(owned_all) | plan.boundary == reachable
+        # Dangling is everything live that reaches no PO.
+        assert plan.dangling == set(aig.ands()) - reachable
+    assert checked  # the corpus must actually produce decompositions
+
+
+def test_shards_pairwise_tfi_tfo_disjoint():
+    for aig, plan in _plans():
+        cones = [set(shard.owned) for shard in plan.shards]
+        for i, shard in enumerate(plan.shards):
+            reach_fwd = tfo(aig, shard.owned)
+            reach_bwd = tfi(aig, shard.owned)
+            for j, other in enumerate(cones):
+                if j == i:
+                    continue
+                assert not reach_fwd & other, (i, j)
+                assert not reach_bwd & other, (i, j)
+
+
+def test_boundary_nodes_are_genuinely_shared():
+    """Minimality: a frozen node reaches the POs of >= 2 *groups* — no
+    node is sacrificed to the boundary that one group could own.  The
+    group TFIs come from ``plan.po_groups`` (not ``shard.pos``, which
+    omits POs whose own drivers froze onto the boundary)."""
+    for aig, plan in _plans():
+        pos = aig.pos
+        drivers: dict = {}
+        for po_index, g_idx in enumerate(plan.po_groups):
+            drivers.setdefault(g_idx, []).append(lit_var(pos[po_index]))
+        group_tfis = [tfi(aig, roots) for roots in drivers.values()]
+        for v in plan.boundary:
+            sharing = sum(1 for cone in group_tfis if v in cone)
+            assert sharing >= 2, v
+        # The dual (ownership maximality): an owned node reaches
+        # exactly one group's POs.
+        for shard in plan.shards:
+            for v in shard.owned:
+                assert sum(1 for cone in group_tfis if v in cone) == 1, v
+
+
+def test_support_is_pis_and_boundary_only():
+    for aig, plan in _plans():
+        for shard in plan.shards:
+            owned = set(shard.owned)
+            expected = set()
+            for v in shard.owned:
+                for fl in (aig.fanin0(v), aig.fanin1(v)):
+                    fv = lit_var(fl)
+                    if fv not in owned and not aig.is_const(fv):
+                        expected.add(fv)
+            assert set(shard.support) == expected
+            for v in shard.support:
+                assert aig.is_pi(v) or v in plan.boundary
+            # Life stamps are pinned per support var, aligned by index.
+            assert len(shard.support_life) == len(shard.support)
+            for v, life in zip(shard.support, shard.support_life):
+                assert life == aig.life_stamp(v)
+
+
+def test_shard_pos_cover_owned_drivers():
+    for aig, plan in _plans():
+        pos = aig.pos
+        claimed = []
+        for shard in plan.shards:
+            owned = set(shard.owned)
+            for po_index, po_lit in shard.pos:
+                assert pos[po_index] == po_lit
+                assert lit_var(po_lit) in owned
+                claimed.append(po_index)
+        assert len(claimed) == len(set(claimed))
+        # Every PO whose driver is an owned AND is claimed by its shard;
+        # PI/const-driven and boundary-driven POs belong to nobody.
+        owned_all = set()
+        for shard in plan.shards:
+            owned_all |= set(shard.owned)
+        expected = {
+            i for i, lit in enumerate(pos) if lit_var(lit) in owned_all
+        }
+        assert set(claimed) == expected
+
+
+def test_owned_is_topologically_sorted():
+    for aig, plan in _plans():
+        for shard in plan.shards:
+            keys = [(aig.level(v), v) for v in shard.owned]
+            assert keys == sorted(keys)
+
+
+def test_deterministic():
+    for make in CIRCUITS:
+        aig = make()
+        a = extract_regions(aig, 4, min_nodes=1)
+        b = extract_regions(aig, 4, min_nodes=1)
+        assert a == b
+
+
+class TestDegenerateFallbacks:
+    def test_empty_aig(self):
+        assert extract_regions(Aig(), 4) is None
+
+    def test_no_ands(self):
+        aig = Aig()
+        a = aig.add_pi()
+        aig.add_po(a)
+        aig.add_po(a ^ 1)
+        assert extract_regions(aig, 2) is None
+
+    def test_single_cone(self):
+        aig = random_aig(num_pis=5, num_nodes=40, num_pos=1, seed=2)
+        assert extract_regions(aig, 4) is None
+
+    def test_one_shard_requested(self):
+        aig = random_aig(num_pis=6, num_nodes=60, num_pos=4, seed=3)
+        assert extract_regions(aig, 1) is None
+        assert extract_regions(aig, 0) is None
+
+    def test_more_shards_than_cones_clamps(self):
+        aig = random_aig(num_pis=6, num_nodes=80, num_pos=3, seed=7)
+        plan = extract_regions(aig, 64, min_nodes=1)
+        if plan is not None:  # clamped, never over-split
+            assert plan.num_shards <= len(aig.pos)
+
+    def test_min_nodes_floor_disables_sharding(self):
+        aig = random_aig(num_pis=6, num_nodes=60, num_pos=5, seed=3)
+        assert extract_regions(aig, 4, min_nodes=10 ** 6) is None
+
+    def test_min_nodes_floor_lowers_shard_count(self):
+        aig = mtm_like(num_pis=12, num_nodes=400, seed=5)
+        wide = extract_regions(aig, 8, min_nodes=1)
+        floored = extract_regions(aig, 8, min_nodes=aig.num_ands // 3)
+        if wide is not None and floored is not None:
+            assert floored.num_shards <= min(3, wide.num_shards)
+
+    def test_duplicate_po_drivers_share_one_cone(self):
+        """POs pointing at the same driver are one cone, not two."""
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        f = aig.and_(a, b)
+        aig.add_po(f)
+        aig.add_po(f ^ 1)
+        assert extract_regions(aig, 2) is None
