@@ -467,10 +467,16 @@ def _bench_sharded_rewrite(quick: bool, jobs: Optional[int]) -> Dict[str, object
     curve = []
     for shards in (1, 2, 4):
         aig = fresh()
+        # Pure fan-out scaling: one pass, no cleanup sweep — this
+        # section isolates the shard mechanism's wall-clock, while the
+        # QoR of the production configuration (rotation + cleanup) is
+        # measured by the ``sharded_qor`` section.
         config = dataclasses.replace(
             dacpara_config(),
             shards=shards,
             shard_min_nodes=shard_min_nodes,
+            shard_passes=1,
+            boundary_cleanup=False,
             executor="process",
             jobs=used_jobs,
         )
@@ -508,6 +514,77 @@ def _bench_sharded_rewrite(quick: bool, jobs: Optional[int]) -> Dict[str, object
     }
 
 
+def _bench_sharded_qor(quick: bool) -> Dict[str, object]:
+    """QoR parity of the production sharded configuration: area after
+    a sharded run (seam rotation at 2 passes plus the boundary cleanup
+    sweep) against the unsharded pipeline on the same circuit.
+
+    Both runs use the simulated executor — the sharded result is
+    byte-identical across executors by contract, so the gap measured
+    here is the gap, machine-independent, and ``area_gap_pct`` is the
+    tracked regression metric (negative = sharded recovered *more*
+    area than unsharded).  ``--check`` gates the functional
+    equivalence of both rewritten graphs against the base circuit.
+    """
+    import dataclasses
+
+    from ..aig.simulate import random_simulation
+    from ..core.dacpara import DACParaRewriter
+
+    num_nodes = 2000 if quick else 52000
+    shard_min_nodes = 64 if quick else 256
+
+    def fresh():
+        return mtm_like(num_pis=24, num_nodes=num_nodes, seed=7)
+
+    base = fresh()
+    base_sig = random_simulation(base, width=256, seed=1)
+
+    unsharded = fresh()
+    t0 = time.perf_counter()
+    r_unsharded = DACParaRewriter(config=dacpara_config()).run(unsharded)
+    unsharded_seconds = time.perf_counter() - t0
+    unsharded_ok = random_simulation(unsharded, width=256, seed=1) == base_sig
+
+    sharded = fresh()
+    config = dataclasses.replace(
+        dacpara_config(),
+        shards=4,
+        shard_min_nodes=shard_min_nodes,
+        shard_passes=2,
+        boundary_cleanup=True,
+    )
+    engine = DACParaRewriter(config=config)
+    t0 = time.perf_counter()
+    r_sharded = engine.run(sharded)
+    sharded_seconds = time.perf_counter() - t0
+    sharded_ok = random_simulation(sharded, width=256, seed=1) == base_sig
+    assert unsharded_ok and sharded_ok, "sharded QoR bench diverged"
+
+    gap = (
+        100.0 * (r_sharded.area_after - r_unsharded.area_after)
+        / r_unsharded.area_after
+        if r_unsharded.area_after
+        else None
+    )
+    merge = engine.last_shard_stats
+    return {
+        "circuit": base.name,
+        "nodes": base.num_ands,
+        "shards": 4,
+        "shard_passes": r_sharded.shard_passes,
+        "area_unsharded": r_unsharded.area_after,
+        "area_sharded": r_sharded.area_after,
+        "area_gap_pct": round(gap, 3) if gap is not None else None,
+        "replacements_unsharded": r_unsharded.replacements,
+        "replacements_sharded": r_sharded.replacements,
+        "unsharded_seconds": round(unsharded_seconds, 6),
+        "sharded_seconds": round(sharded_seconds, 6),
+        "merge": merge.as_dict() if merge is not None else None,
+        "equivalent": unsharded_ok and sharded_ok,
+    }
+
+
 def run_hotpath_bench(quick: bool = False, jobs: Optional[int] = None) -> Dict[str, object]:
     """Run all the micro-benchmarks; returns the report dict."""
     return {
@@ -525,6 +602,7 @@ def run_hotpath_bench(quick: bool = False, jobs: Optional[int] = None) -> Dict[s
         "degraded_eval": _bench_degraded_eval(quick, jobs),
         "snapshot_delta": _bench_snapshot_delta(quick),
         "sharded_rewrite": _bench_sharded_rewrite(quick, jobs),
+        "sharded_qor": _bench_sharded_qor(quick),
     }
 
 

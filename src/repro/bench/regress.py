@@ -45,6 +45,7 @@ TRACKED_METRICS: Tuple[Tuple[str, str], ...] = (
     ("snapshot_delta.reduction", "higher"),
     ("sharded_rewrite.sharded_nodes_per_second", "higher"),
     ("sharded_rewrite.speedup_at_4", "higher"),
+    ("sharded_qor.area_gap_pct", "lower"),
 )
 
 DEFAULT_THRESHOLD = 0.15

@@ -125,6 +125,10 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
         config_updates["shards"] = args.shards
     if args.shard_min_nodes is not None:
         config_updates["shard_min_nodes"] = args.shard_min_nodes
+    if args.shard_passes is not None:
+        config_updates["shard_passes"] = args.shard_passes
+    if args.no_boundary_cleanup:
+        config_updates["boundary_cleanup"] = False
     if args.scalar_eval:
         config_updates["columnar_eval"] = False
     if args.scalar_enum:
@@ -298,6 +302,18 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 256)",
     )
     p_rw.add_argument(
+        "--shard-passes", type=int, default=None, metavar="N",
+        help="seam-rotation passes for a sharded run: each pass "
+             "re-plans the regions with a rotated PO grouping so the "
+             "frozen boundary lands on different nodes (default 1)",
+    )
+    p_rw.add_argument(
+        "--no-boundary-cleanup", action="store_true",
+        help="skip the sequential cleanup pass that re-rewrites the "
+             "former boundary / dangling neighborhood after the "
+             "sharded passes (faster, recovers less area)",
+    )
+    p_rw.add_argument(
         "--scalar-eval", action="store_true",
         help="score candidates with the per-cut scalar loop instead of "
              "the columnar batch kernels (slower; the differential "
@@ -421,7 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
              "hold (NPN LUT beats scalar, batch eval >=2x scalar and "
              "identical, columnar cut enumeration >=2x scalar and "
              "identical, snapshot deltas >=5x smaller, sharded rewrite "
-             "functionally equivalent to base)",
+             "and sharded QoR runs functionally equivalent to base)",
     )
     p_bench.add_argument(
         "--compare", metavar="BASELINE.json", default=None,
@@ -516,6 +532,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"boundary {shr['boundary_frozen']}, "
         f"equivalent={shr['equivalent']})"
     )
+    qor = report["sharded_qor"]
+    print(
+        f"sharded-qor: area {qor['area_sharded']} sharded "
+        f"({qor['shards']}sh x {qor['shard_passes']}p + cleanup) vs "
+        f"{qor['area_unsharded']} unsharded "
+        f"(gap {qor['area_gap_pct']}%, equivalent={qor['equivalent']})"
+    )
     print(f"written: {args.output}")
     if args.check and npn["speedup"] <= 1.0:
         print(
@@ -568,6 +591,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         # tracked by --compare, not gated here.
         print(
             "CHECK FAILED: sharded rewrite not equivalent to base",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check and not qor["equivalent"]:
+        print(
+            "CHECK FAILED: sharded QoR run not equivalent to base",
             file=sys.stderr,
         )
         return 1

@@ -77,6 +77,16 @@ class RewriteConfig:
     # disables sharding) rather than fan out regions too small to pay
     # for their snapshot round-trip.
     shard_min_nodes: int = 256
+    # Seam-rotation passes for a sharded run: each pass re-plans the
+    # regions with a rotated PO grouping, so the frozen boundary lands
+    # on different nodes and later passes rewrite what earlier passes
+    # froze.  Only meaningful with shards > 1.
+    shard_passes: int = 1
+    # After the sharded passes, run the sequential (unsharded,
+    # deterministic) pipeline restricted to the TFI neighborhood of the
+    # former boundary and dangling nodes, recovering seam-crossing cuts
+    # no shard could see.  Only meaningful with shards > 1.
+    boundary_cleanup: bool = True
     # Evaluation-stage engine: True scores whole chunks of candidates
     # through the columnar batch kernels (numpy NPN/class gathers plus
     # a deref-hoisted scoring loop over flat columns); False routes
@@ -135,6 +145,8 @@ class RewriteConfig:
             raise ConfigError("shards must be >= 1")
         if self.shard_min_nodes < 1:
             raise ConfigError("shard_min_nodes must be >= 1")
+        if self.shard_passes < 1:
+            raise ConfigError("shard_passes must be >= 1")
         if self.fault_plan is not None:
             from .galois.procpool import FaultPlan
 

@@ -13,7 +13,7 @@ paper reports for those benchmarks.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Set
 
 from ..aig import Aig
 from ..cuts import CutManager
@@ -62,18 +62,31 @@ class DACParaRewriter:
         self.last_stats = None  # ExecutionStats of the most recent run
         self.last_validation_stats = None
         self.last_shard_stats = None  # ShardMergeStats of a sharded run
+        self._shard_fallback = ""  # why the last run ran unsharded
 
-    def run(self, aig: Aig) -> RewriteResult:
+    def run(self, aig: Aig, restrict: Optional[Set[int]] = None) -> RewriteResult:
         """Rewrite ``aig`` in place (Algorithm 1); returns the record.
 
         With ``config.shards > 1`` the graph is first split into
         TFI/TFO-disjoint regions and the whole pipeline runs per shard
         (:mod:`repro.core.shards`); graphs that do not decompose —
         single cone, too small, fewer cones than shards — fall back to
-        the unsharded level pipeline below.
+        the unsharded level pipeline below, recording why in
+        ``result.shard_fallback``.
+
+        ``restrict`` limits the pipeline to a subset of AND vars: only
+        members are enumerated/evaluated/replaced (their cuts may still
+        reach outside the set).  The boundary cleanup pass uses it to
+        re-run the pipeline over just the former-seam neighborhood;
+        sharding is skipped for restricted runs.
         """
         self.last_shard_stats = None
-        if self.config.shards > 1 and self.partition == "level":
+        self._shard_fallback = ""
+        if (
+            self.config.shards > 1
+            and self.partition == "level"
+            and restrict is None
+        ):
             from .shards import run_sharded
 
             sharded = run_sharded(self, aig)
@@ -141,7 +154,11 @@ class DACParaRewriter:
                         worklists=len(worklists),
                     )
                 for level, worklist in enumerate(worklists, start=1):
-                    live = [v for v in worklist if not aig.is_dead(v)]
+                    live = [
+                        v for v in worklist
+                        if not aig.is_dead(v)
+                        and (restrict is None or v in restrict)
+                    ]
                     if not live:
                         continue
                     ctx.reset_round()
@@ -204,4 +221,5 @@ class DACParaRewriter:
         result.conflicts = stats.total_conflicts
         result.aborted_units = stats.total_aborted_units
         result.stage_units = stats.units_by_stage_name()
+        result.shard_fallback = self._shard_fallback
         return result

@@ -26,10 +26,11 @@ Two granularities of divide-and-conquer live here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..aig import Aig
 from ..aig.literals import lit_var
+from ..aig.traversal import tfi
 
 
 def node_dividing(aig: Aig) -> List[List[int]]:
@@ -75,6 +76,7 @@ class Shard:
     support: Tuple[int, ...]
     support_life: Tuple[int, ...]
     pos: Tuple[Tuple[int, int], ...]
+    est_work: int = 0
 
 
 @dataclass(frozen=True)
@@ -84,10 +86,12 @@ class ShardPlan:
     ``boundary`` holds the frozen conflict-breaking nodes (reaching POs
     of two or more shards); ``dangling`` the live ANDs reaching no PO
     at all — neither set is owned by any shard, and both are left
-    untouched by a sharded pass.  ``po_groups`` records which PO-cone
-    group each output was assigned to (diagnostics: a group whose every
-    PO driver landed on the boundary produces no shard, so this is the
-    only place the full grouping survives).
+    untouched by a sharded pass (the boundary cleanup pass sweeps both
+    afterwards).  ``po_groups`` records which PO-cone group each output
+    was assigned to (diagnostics: a group whose every PO driver landed
+    on the boundary produces no shard, so this is the only place the
+    full grouping survives).  ``rotation`` echoes the seam-rotation
+    seed the plan was built with.
     """
 
     num_shards: int
@@ -95,78 +99,147 @@ class ShardPlan:
     boundary: FrozenSet[int]
     dangling: FrozenSet[int]
     po_groups: Tuple[int, ...] = ()
+    rotation: int = 0
 
     @property
     def total_owned(self) -> int:
         return sum(len(s.owned) for s in self.shards)
 
 
-def extract_regions(
-    aig: Aig, num_shards: int, min_nodes: int = 1
-) -> Optional[ShardPlan]:
+def merge_work_estimates(aig: Aig, max_cuts: int = 12) -> Dict[int, int]:
+    """Per-node merge-work proxy: estimated cut-pair products.
+
+    One topological pass propagates an estimated cut count per node,
+    ``est[v] = min(max_cuts, est[f0] * est[f1] + 1)`` (the trivial cut
+    plus the merged pairs, saturated at the enumerator's ``max_cuts``
+    quota exactly as :class:`~repro.cuts.manager.CutManager` saturates
+    its cut sets), and records ``work[v] = est[f0] * est[f1]`` — the
+    number of cross-product merges the enumerator will attempt at
+    ``v``.  PIs and constants contribute a single (trivial) cut.
+    """
+    est: Dict[int, int] = {}
+    work: Dict[int, int] = {}
+    fanin0 = aig.fanin0
+    fanin1 = aig.fanin1
+    for v in aig.topo_ands():
+        e0 = est.get(lit_var(fanin0(v)), 1)
+        e1 = est.get(lit_var(fanin1(v)), 1)
+        pairs = e0 * e1
+        work[v] = pairs
+        est[v] = min(max_cuts, pairs + 1)
+    return work
+
+
+def _rotated_po_order(num_pos: int, rotation: int) -> List[int]:
+    """Deterministic PO visit order for seam-rotation pass ``rotation``.
+
+    Pass 0 keeps index order.  Later passes rotate the ring of POs by a
+    stride chosen coprime-ish to the count (roughly ``2/5`` of the ring,
+    so successive passes land far from each other), which moves the
+    contiguous-group split points — and with them the frozen boundary —
+    onto different nodes.
+    """
+    if rotation == 0 or num_pos < 2:
+        return list(range(num_pos))
+    stride = 2 * num_pos // 5 + 1
+    shift = (rotation * stride) % num_pos
+    return [(i + shift) % num_pos for i in range(num_pos)]
+
+
+def plan_regions(
+    aig: Aig,
+    num_shards: int,
+    min_nodes: int = 1,
+    rotation: int = 0,
+    max_cuts: int = 12,
+) -> Tuple[Optional[ShardPlan], Optional[str]]:
     """Split ``aig`` into up to ``num_shards`` TFI/TFO-disjoint shards.
 
-    Returns None whenever sharding is degenerate — fewer than two
-    usable PO-cone groups (empty graph, a single cone, more shards
-    requested than cones exist, or a graph too small for every shard
-    to reach ``min_nodes`` owned nodes) — and the caller falls back to
-    the unsharded pipeline.
+    Returns ``(plan, None)`` on success, or ``(None, reason)`` whenever
+    sharding is degenerate — fewer than two usable PO-cone groups
+    (empty graph, a single cone, more shards requested than cones
+    exist, or a graph too small for every shard to reach ``min_nodes``
+    owned nodes) — and the caller falls back to the unsharded pipeline.
 
-    The decomposition is deterministic: PO cones are walked in index
-    order and grouped into contiguous blocks balanced by *incremental*
-    cone size, then one reverse-topological pass labels every node
-    with the set of groups whose POs it reaches.  Single-label nodes
-    are owned by that group; multi-label nodes are the frozen
-    boundary.  Ownership is closed under fanout by construction (a
-    fanout of an owned node carries a superset of no other group's
-    label), which is exactly the TFI/TFO-disjointness Theorem 1 needs.
+    The decomposition is deterministic per ``(graph, num_shards,
+    min_nodes, rotation)``: PO cones are walked in rotated index order
+    and grouped into contiguous blocks balanced by *incremental* merge
+    work (estimated cut-pair counts, not raw cone size — stragglers in
+    the ``sharded_rewrite`` bench were shards whose equal node share
+    carried an outsized share of cut merges), then one
+    reverse-topological pass labels every node with the set of groups
+    whose POs it reaches.  Single-label nodes are owned by that group;
+    multi-label nodes are the frozen boundary.  Ownership is closed
+    under fanout by construction (a fanout of an owned node carries a
+    superset of no other group's label), which is exactly the
+    TFI/TFO-disjointness Theorem 1 needs.
+
+    ``rotation`` is the seam-rotation seed: it permutes the PO visit
+    order (see :func:`_rotated_po_order`), so a multi-pass sharded run
+    freezes a *different* boundary each pass and later passes get to
+    rewrite nodes earlier passes froze.
     """
     if num_shards < 2:
-        return None
+        return None, "single_shard"
     pos = aig.pos
-    if len(pos) < 2 or aig.num_ands == 0:
-        return None
+    if len(pos) < 2:
+        return None, "too_few_pos"
+    if aig.num_ands == 0:
+        return None, "no_reachable_ands"
 
-    # 1. Marginal cone size per PO (new AND nodes not seen by earlier
-    # POs) — one O(N + E) sweep, and `seen` doubles as the live set.
+    # 1. Per-node merge-work estimates, then marginal cone cost per PO
+    # (work of new AND nodes not seen by earlier POs in rotated order)
+    # — one O(N + E) sweep, and `seen` doubles as the live set.
+    node_work = merge_work_estimates(aig, max_cuts)
+    po_order = _rotated_po_order(len(pos), rotation)
     seen: set = set()
-    po_cost: List[int] = []
+    po_cost: Dict[int, int] = {}
+    po_size: Dict[int, int] = {}
     is_and = aig.is_and
     fanin0 = aig.fanin0
     fanin1 = aig.fanin1
-    for lit in pos:
-        fresh = 0
-        stack = [lit_var(lit)]
+    for po_index in po_order:
+        fresh_work = 0
+        fresh_nodes = 0
+        stack = [lit_var(pos[po_index])]
         while stack:
             v = stack.pop()
             if v in seen or not is_and(v):
                 continue
             seen.add(v)
-            fresh += 1
+            fresh_nodes += 1
+            fresh_work += node_work.get(v, 1)
             stack.append(lit_var(fanin0(v)))
             stack.append(lit_var(fanin1(v)))
-        po_cost.append(fresh)
-    total = len(seen)
-    if total == 0:
-        return None
+        po_cost[po_index] = fresh_work
+        po_size[po_index] = fresh_nodes
+    total_nodes = len(seen)
+    if total_nodes == 0:
+        return None, "no_reachable_ands"
+    total_work = sum(po_cost.values())
 
     # 2. Effective shard count: never more groups than PO cones, and
-    # never so many that a balanced shard would fall under min_nodes.
+    # never so many that a balanced shard would fall under min_nodes
+    # (the floor stays in node counts — min_nodes bounds per-shard
+    # fixed overhead, which scales with nodes, not merge pairs).
     n = min(num_shards, len(pos))
     if min_nodes > 1:
-        n = min(n, max(1, total // min_nodes))
+        n = min(n, max(1, total_nodes // min_nodes))
+        if n < 2:
+            return None, "min_nodes_floor"
     if n < 2:
-        return None
+        return None, "too_few_pos"
 
-    # 3. Contiguous PO blocks balanced by cumulative cone size.
+    # 3. Contiguous PO blocks (contiguous in *rotated* order) balanced
+    # by cumulative estimated merge work.
     groups: List[List[int]] = [[] for _ in range(n)]
     g = 0
     cum = 0
-    for po_index, cost in enumerate(po_cost):
-        while g < n - 1 and cum >= total * (g + 1) / n:
+    for po_index in po_order:
+        while g < n - 1 and cum >= total_work * (g + 1) / n:
             g += 1
         groups[g].append(po_index)
-        cum += cost
+        cum += po_cost[po_index]
 
     # 4. Reverse-topological group labelling.  ``labels[v]`` is the
     # bitmask of groups whose POs node v reaches; fanouts always sit
@@ -229,10 +302,11 @@ def extract_regions(
                 support=support,
                 support_life=tuple(life_stamp(v) for v in support),
                 pos=shard_pos,
+                est_work=sum(node_work.get(v, 1) for v in owned),
             )
         )
     if len(shards) < 2:
-        return None
+        return None, "too_few_regions"
 
     dangling = frozenset(
         v for v in aig.ands() if v not in seen
@@ -241,10 +315,47 @@ def extract_regions(
     for g_idx, group in enumerate(groups):
         for po_index in group:
             po_groups[po_index] = g_idx
-    return ShardPlan(
+    plan = ShardPlan(
         num_shards=len(shards),
         shards=tuple(shards),
         boundary=frozenset(boundary),
         dangling=dangling,
         po_groups=tuple(po_groups),
+        rotation=rotation,
     )
+    return plan, None
+
+
+def extract_regions(
+    aig: Aig, num_shards: int, min_nodes: int = 1, rotation: int = 0
+) -> Optional[ShardPlan]:
+    """Back-compatible wrapper around :func:`plan_regions` dropping the
+    fallback reason."""
+    plan, _reason = plan_regions(
+        aig, num_shards, min_nodes=min_nodes, rotation=rotation
+    )
+    return plan
+
+
+def cleanup_region(aig: Aig, targets: Iterable[int]) -> Set[int]:
+    """The restricted worklist for the sequential boundary cleanup pass.
+
+    ``targets`` are former boundary and dangling nodes.  The region is
+    the live ANDs among the targets themselves, their transitive fanin
+    (so seam-crossing cuts rooted at a target see refreshed fanin
+    structure), and their *direct* fanouts (the first readers across
+    the old seam, whose best cuts straddle it).  Going deeper into the
+    fanout cone would re-run most of the graph and erase the sharding
+    speedup; one reader layer is where the frozen-seam loss
+    concentrates.
+    """
+    roots = [v for v in targets if aig.is_and(v) and not aig.is_dead(v)]
+    region: Set[int] = set()
+    for v in tfi(aig, roots):
+        if aig.is_and(v) and not aig.is_dead(v):
+            region.add(v)
+    for v in roots:
+        for reader in aig.fanouts(v):
+            if aig.is_and(reader) and not aig.is_dead(reader):
+                region.add(reader)
+    return region

@@ -5,7 +5,7 @@ at a time from a single parent — at the paper's multi-million-node
 scale the per-level barrier itself becomes the serial bottleneck.
 This module runs divide-and-conquer one level up:
 
-1. :func:`~repro.core.partition.extract_regions` splits the graph into
+1. :func:`~repro.core.partition.plan_regions` splits the graph into
    TFI/TFO-disjoint shards (PO-cone groups with frozen boundary
    nodes);
 2. each shard is extracted into a self-contained sub-AIG (support
@@ -25,24 +25,43 @@ This module runs divide-and-conquer one level up:
 Because boundary nodes are frozen (they are support, never owned),
 shards cannot observe each other's mutations; each worker's rewrite is
 fully deterministic (simulated executor inside), so a sharded run is
-reproducible at fixed seed/shard count and the in-parent fault
-fallback reproduces a lost worker's payload exactly.  The cost of the
-freeze is QoR: boundary nodes and cuts crossing them are never
-rewritten, so a sharded pass trades a little area recovery for
-shard-level parallelism.
+reproducible at fixed seed/shard count/pass count and the in-parent
+fault fallback reproduces a lost worker's payload exactly.  The cost
+of the freeze used to be QoR — boundary nodes and cuts crossing them
+were never rewritten — and two mechanisms recover it:
+
+* **seam rotation** (``config.shard_passes > 1``): each pass re-plans
+  the regions with a rotated PO grouping
+  (:func:`~repro.core.partition.plan_regions` with ``rotation=pass``),
+  so the frozen boundary lands on different nodes and later passes
+  rewrite what earlier passes froze;
+* a **boundary cleanup pass** (``config.boundary_cleanup``): after the
+  sharded passes, the normal sequential pipeline re-runs restricted to
+  the former boundary / dangling nodes' TFI neighborhood
+  (:func:`~repro.core.partition.cleanup_region`), finally seeing the
+  seam-crossing cuts no shard could.  It runs on the simulated
+  executor regardless of the outer executor, so sharded runs stay
+  byte-identical across executors.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import logging
 import time
 from typing import Dict, List, Optional, Tuple
 
 from ..aig import Aig, LIT_FALSE, lit_var, make_lit
 from ..aig.simulate import random_simulation
 from ..rewrite.result import RewriteResult
-from .partition import Shard, ShardPlan, extract_regions
+from .partition import Shard, cleanup_region, plan_regions
 from .validation import ShardMergeStats, validate_shard_payload
+
+#: Fallback diagnostics go through logging, not ``warnings`` — the
+#: differential fuzz suite runs with ``warnings.simplefilter("error")``
+#: to catch silent *pool* fallbacks, and a graph that legitimately does
+#: not decompose must not trip that net.
+_LOG = logging.getLogger("repro.shards")
 
 #: Simulation width of the worker-side pre/post equivalence guard.
 SHARD_CHECK_WIDTH = 64
@@ -183,6 +202,12 @@ def splice_shard(
     reference-count cascade.  New out drivers carry protection
     references across the redirects: an earlier PO's deletion cascade
     could otherwise free a strash-hit node a later PO still needs.
+
+    Re-strash hits are counted with a ``has_and`` probe *before* each
+    rebuild call, per payload node actually rebuilt — not per strash
+    lookup — so consecutive shards sharing boundary support nodes
+    cannot double-count a hit (var ids are recycled, so an index
+    threshold on the allocator would miscount instead).
     """
     if not validate_shard_payload(aig, shard, payload, stats):
         return False
@@ -195,9 +220,12 @@ def splice_shard(
     for i, v in enumerate(shard.support):
         lits[i + 1] = make_lit(v)
     for j, (a, b) in enumerate(payload["nodes"]):
-        lits[k + 1 + j] = aig.and_(
-            lits[a >> 1] ^ (a & 1), lits[b >> 1] ^ (b & 1)
-        )
+        fa = lits[a >> 1] ^ (a & 1)
+        fb = lits[b >> 1] ^ (b & 1)
+        stats.nodes_rebuilt += 1
+        if aig.has_and(fa, fb) >= 0:
+            stats.restrash_hits += 1
+        lits[k + 1 + j] = aig.and_(fa, fb)
     out_lits = [lits[o >> 1] ^ (o & 1) for o in payload["outs"]]
     protected = []
     for lit in out_lits:
@@ -214,23 +242,39 @@ def splice_shard(
 
 
 def run_sharded(rewriter, aig: Aig) -> Optional[RewriteResult]:
-    """The sharded top level: extract regions, rewrite each shard's
+    """The sharded top level: plan regions, rewrite each shard's
     sub-AIG (concurrently on the process pool, sequentially otherwise),
-    splice the results back.  Returns None when the graph does not
-    decompose (the caller then runs the unsharded pipeline)."""
+    splice the results back — repeated ``config.shard_passes`` times
+    with a rotated seam, then swept by the boundary cleanup pass.
+
+    Returns None when the graph does not decompose (the caller then
+    runs the unsharded pipeline); the fallback is *not* silent — the
+    reason is recorded on the rewriter (surfaced as
+    ``RewriteResult.shard_fallback``), counted as
+    ``shard_fallback_total{reason}``, and logged once.
+    """
     from ..galois import make_executor
     from ..library import get_library
+    from .dacpara import DACParaRewriter
 
     config = rewriter.config
-    plan = extract_regions(aig, config.shards, config.shard_min_nodes)
-    if plan is None:
-        return None
     obs = rewriter.obs
-    if obs.enabled:
-        obs.count("shard_boundary_frozen_total", len(plan.boundary))
-        obs.gauge("shard_plan_shards", plan.num_shards)
-        for shard in plan.shards:
-            obs.observe("shard_nodes", len(shard.owned))
+    est_cap = config.max_cuts if config.max_cuts is not None else 12
+    plan, reason = plan_regions(
+        aig, config.shards, config.shard_min_nodes,
+        rotation=0, max_cuts=est_cap,
+    )
+    if plan is None:
+        reason = reason or "unknown"
+        rewriter._shard_fallback = reason
+        if obs.enabled:
+            obs.count("shard_fallback_total", 1, reason=reason)
+        _LOG.warning(
+            "sharded rewrite requested (shards=%d) but the graph does not "
+            "decompose (%s); running the unsharded pipeline instead",
+            config.shards, reason,
+        )
+        return None
 
     result = RewriteResult(
         engine=rewriter.name,
@@ -246,69 +290,184 @@ def run_sharded(rewriter, aig: Aig) -> Optional[RewriteResult]:
         run_span = obs.begin(
             "sharded_run", "run", 0, engine=rewriter.name,
             shards=plan.num_shards, boundary=len(plan.boundary),
-            area_before=aig.num_ands,
+            area_before=aig.num_ands, shard_passes=config.shard_passes,
         )
 
-    tasks = [(shard.index, shard) for shard in plan.shards]
     # Pool workers rebuild the structure library via get_library(), so
     # a custom library keeps the whole fan-out in-parent (same rule as
-    # the native eval stage).
+    # the native eval stage).  One executor serves every pass: the
+    # snapshot shipper sends deltas between passes and fault-plan chunk
+    # coordinates stay cumulative.
     use_pool = (
         rewriter.executor_kind == "process"
         and rewriter.library is get_library()
     )
-    executor = None
-    if use_pool:
-        executor = make_executor(
+    executor = (
+        make_executor(
             "process", config.workers, observer=obs, jobs=rewriter.jobs
         )
-        try:
-            merged = executor.run_shards(aig, tasks, config)
-        finally:
-            executor.close()
-    else:
-        merged = []
-        for index, shard in tasks:
-            payload = rewrite_shard(aig, shard, config)
-            merged.append(
-                (index, payload, payload["counters"]["work_units"])
-            )
+        if use_pool
+        else None
+    )
 
     stats = ShardMergeStats()
     stage_units: Dict[str, int] = {}
-    makespan = 0
-    # Splice in shard-index order — the merge order is part of the
-    # deterministic contract regardless of which worker finished first.
-    for index, payload, _units in sorted(merged, key=lambda entry: entry[0]):
-        shard = plan.shards[index]
-        spliced = splice_shard(aig, shard, payload, stats)
-        if isinstance(payload, dict) and "counters" in payload:
-            c = payload["counters"]
-            result.work_units += c.get("work_units", 0)
-            makespan = max(makespan, c.get("makespan_units", 0))
-            result.conflicts += c.get("conflicts", 0)
-            result.aborted_units += c.get("aborted_units", 0)
-            result.passes = max(result.passes, c.get("passes", 0))
-            for name, units in c.get("stage_units", {}).items():
-                stage_units[name] = stage_units.get(name, 0) + units
-            if spliced:
-                result.replacements += c.get("replacements", 0)
-                result.attempted += c.get("attempted", 0)
-                result.validation_failures += c.get("validation_failures", 0)
-                result.revalidated += c.get("revalidated", 0)
+    makespan_total = 0
+    # Every node any pass froze (boundary) or skipped (dangling), with
+    # its life stamp at freeze time: the cleanup pass targets the ones
+    # still alive afterwards, and the recovery counter reports the ones
+    # that did get rewritten away (by rotation or cleanup).
+    former_targets: Dict[int, int] = {}
+    passes_run = 0
+    try:
+        for pass_index in range(config.shard_passes):
+            if pass_index > 0:
+                # Re-plan against the rewritten graph with a rotated
+                # seam; a graph that stopped decomposing ends rotation.
+                plan, _late_reason = plan_regions(
+                    aig, config.shards, config.shard_min_nodes,
+                    rotation=pass_index, max_cuts=est_cap,
+                )
+                if plan is None:
+                    break
+            passes_run += 1
+            result.shards = max(result.shards, plan.num_shards)
+            for v in plan.boundary:
+                former_targets.setdefault(v, aig.life_stamp(v))
+            for v in plan.dangling:
+                former_targets.setdefault(v, aig.life_stamp(v))
+            pass_span = None
             if obs.enabled:
-                obs.observe("shard_wall_seconds", payload.get("wall_seconds", 0.0))
+                obs.count("shard_boundary_frozen_total", len(plan.boundary),
+                          shard_pass=pass_index)
+                obs.gauge("shard_plan_shards", plan.num_shards)
+                for shard in plan.shards:
+                    obs.observe("shard_nodes", len(shard.owned))
+                pass_span = obs.begin(
+                    "shard_pass", "pass", 0, index=pass_index,
+                    rotation=plan.rotation, shards=plan.num_shards,
+                    boundary=len(plan.boundary),
+                )
 
-    result.makespan_units = makespan
+            tasks = [(shard.index, shard) for shard in plan.shards]
+            if executor is not None:
+                merged = executor.run_shards(
+                    aig, tasks, config, pass_index=pass_index
+                )
+            else:
+                merged = []
+                for index, shard in tasks:
+                    payload = rewrite_shard(aig, shard, config)
+                    merged.append(
+                        (index, payload, payload["counters"]["work_units"])
+                    )
+
+            pass_replacements = 0
+            pass_makespan = 0
+            # Splice in shard-index order — the merge order is part of
+            # the deterministic contract regardless of which worker
+            # finished first.
+            for index, payload, _units in sorted(
+                merged, key=lambda entry: entry[0]
+            ):
+                shard = plan.shards[index]
+                spliced = splice_shard(aig, shard, payload, stats)
+                if isinstance(payload, dict) and "counters" in payload:
+                    c = payload["counters"]
+                    result.work_units += c.get("work_units", 0)
+                    pass_makespan = max(
+                        pass_makespan, c.get("makespan_units", 0)
+                    )
+                    result.conflicts += c.get("conflicts", 0)
+                    result.aborted_units += c.get("aborted_units", 0)
+                    result.passes = max(result.passes, c.get("passes", 0))
+                    for name, units in c.get("stage_units", {}).items():
+                        stage_units[name] = stage_units.get(name, 0) + units
+                    if spliced:
+                        pass_replacements += c.get("replacements", 0)
+                        result.replacements += c.get("replacements", 0)
+                        result.attempted += c.get("attempted", 0)
+                        result.validation_failures += c.get(
+                            "validation_failures", 0
+                        )
+                        result.revalidated += c.get("revalidated", 0)
+                    if obs.enabled:
+                        obs.observe(
+                            "shard_wall_seconds",
+                            payload.get("wall_seconds", 0.0),
+                            shard_pass=pass_index,
+                        )
+            # Shards of one pass run concurrently; passes are
+            # sequential, so the run's makespan sums per-pass maxima.
+            makespan_total += pass_makespan
+            if obs.enabled:
+                obs.end(pass_span, 0, replacements=pass_replacements,
+                        area=aig.num_ands)
+    finally:
+        if executor is not None:
+            executor.close()
+
+    # Sequential boundary cleanup: re-run the normal pipeline over the
+    # former-seam neighborhood.  Always on the simulated executor, so
+    # the sharded result stays byte-identical across outer executors.
+    if config.boundary_cleanup:
+        targets = [
+            v for v, life in sorted(former_targets.items())
+            if aig.is_and(v) and not aig.is_dead(v)
+            and aig.life_stamp(v) == life
+        ]
+        region = cleanup_region(aig, targets) if targets else set()
+        if region:
+            cleanup_span = None
+            if obs.enabled:
+                cleanup_span = obs.begin(
+                    "shard_cleanup", "pass", 0, targets=len(targets),
+                    region=len(region),
+                )
+            engine = DACParaRewriter(
+                config=shard_subconfig(config),
+                library=rewriter.library,
+                executor_kind="simulated",
+                validate=rewriter.validate,
+            )
+            cleanup = engine.run(aig, restrict=region)
+            result.replacements += cleanup.replacements
+            result.attempted += cleanup.attempted
+            result.validation_failures += cleanup.validation_failures
+            result.revalidated += cleanup.revalidated
+            result.conflicts += cleanup.conflicts
+            result.aborted_units += cleanup.aborted_units
+            result.work_units += cleanup.work_units
+            makespan_total += cleanup.makespan_units
+            result.passes = max(result.passes, cleanup.passes)
+            for name, units in cleanup.stage_units.items():
+                stage_units[name] = stage_units.get(name, 0) + units
+            if obs.enabled:
+                obs.end(cleanup_span, 0, replacements=cleanup.replacements,
+                        area=aig.num_ands)
+
+    recovered = sum(
+        1 for v, life in former_targets.items()
+        if aig.is_dead(v) or aig.life_stamp(v) != life
+    )
+
+    result.shard_passes = passes_run
+    result.makespan_units = makespan_total
     result.stage_units = stage_units
     result.area_after = aig.num_ands
     result.delay_after = aig.max_level()
     if obs.enabled:
+        if recovered:
+            obs.count("shard_boundary_recovered_total", recovered)
+        if stats.nodes_rebuilt:
+            obs.count("shard_splice_nodes_total", stats.nodes_rebuilt)
+        if stats.restrash_hits:
+            obs.count("shard_splice_restrash_hits_total", stats.restrash_hits)
         for cause, n in stats.as_dict().items():
-            if n:
+            if n and cause not in ("restrash_hits", "nodes_rebuilt"):
                 obs.count("shard_merge_total", n, outcome=cause)
         obs.end(run_span, 0, area_after=aig.num_ands,
-                replacements=result.replacements)
+                replacements=result.replacements, passes=passes_run)
     rewriter.last_stats = executor.stats if executor is not None else None
     rewriter.last_validation_stats = None
     rewriter.last_shard_stats = stats

@@ -69,7 +69,8 @@ class ShardMergeStats:
     """
 
     __slots__ = ("spliced", "skipped_no_gain", "worker_check_failed",
-                 "support_dead", "support_recycled", "malformed_payload")
+                 "support_dead", "support_recycled", "malformed_payload",
+                 "restrash_hits", "nodes_rebuilt")
 
     def __init__(self) -> None:
         self.spliced = 0
@@ -78,6 +79,14 @@ class ShardMergeStats:
         self.support_dead = 0
         self.support_recycled = 0
         self.malformed_payload = 0
+        # Splice-time rebuild accounting: of the payload nodes rebuilt
+        # through ``Aig.and_``, how many resolved to an existing node
+        # (constant fold or strash hit) instead of a fresh allocation.
+        # Probed per node via ``Aig.has_and`` *before* the rebuild call,
+        # so a node shared by consecutive shards' payloads counts once
+        # per shard that actually rebuilds it — never per lookup.
+        self.restrash_hits = 0
+        self.nodes_rebuilt = 0
 
     @property
     def failed(self) -> int:

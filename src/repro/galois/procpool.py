@@ -748,6 +748,10 @@ class ProcessExecutor(SimulatedExecutor):
         self.cache_refills = 0
         self.eval_wall_seconds = 0.0
         self.enum_wall_seconds = 0.0
+        # Cumulative shard chunks fanned out across seam-rotation
+        # passes: keeps fault-plan chunk coordinates ("mode@shard:N")
+        # global over a multi-pass run instead of restarting at 0.
+        self.shard_chunks_seen = 0
         # Fault-tolerance bookkeeping (mirrored into the observer as
         # pool_restarts_total / chunk_retries_total{stage} /
         # chunk_timeouts_total / quarantined_chunks_total /
@@ -981,7 +985,8 @@ class ProcessExecutor(SimulatedExecutor):
         merged.extend(self._degrade_chunk(job, fallback, collector))
 
     def _collect_chunks(
-        self, pool, entry, ref, parts, config, collector, stage, fallback
+        self, pool, entry, ref, parts, config, collector, stage, fallback,
+        index_base=0,
     ):
         """Submit all chunks and fan results back in, fault-tolerantly.
 
@@ -999,7 +1004,10 @@ class ProcessExecutor(SimulatedExecutor):
         to simulated mode under any fault.
         """
         merged: List[tuple] = []
-        queue = deque(_ChunkJob(index, part) for index, part in enumerate(parts))
+        queue = deque(
+            _ChunkJob(index, part)
+            for index, part in enumerate(parts, start=index_base)
+        )
         plan = self._get_fault_plan(config)
         timeout = getattr(config, "chunk_timeout_seconds", None)
         max_retries = getattr(config, "chunk_max_retries", 2)
@@ -1215,24 +1223,27 @@ class ProcessExecutor(SimulatedExecutor):
 
     # -- the shard fan-out --------------------------------------------
 
-    def run_shards(self, aig, tasks, config) -> List[tuple]:
+    def run_shards(self, aig, tasks, config, pass_index=0) -> List[tuple]:
         """Fan whole-shard rewrites out to pool workers.
 
         ``tasks`` are ``(index, Shard)`` pairs; the graph ships once as
         a (shared-memory) snapshot and each chunk carries only a
         shard's var lists.  One shard per chunk: a shard is the unit of
         retry, quarantine and fault injection (stage name ``"shard"``
-        in the fault plan), and the in-parent fallback recomputes it
-        against the live graph with identical results.  Returns the
+        in the fault plan — chunk coordinates are cumulative across
+        seam-rotation passes, so ``mode@shard:N`` can target any pass's
+        chunks), and the in-parent fallback recomputes it against the
+        live graph with identical results.  ``pass_index`` labels the
+        fan-out span for multi-pass telemetry.  Returns the
         ``(index, payload, units)`` triples, unordered.
         """
         try:
-            return self._run_shard_fanout(aig, tasks, config)
+            return self._run_shard_fanout(aig, tasks, config, pass_index)
         except BaseException:
             self._shipper.release()
             raise
 
-    def _run_shard_fanout(self, aig, tasks, config) -> List[tuple]:
+    def _run_shard_fanout(self, aig, tasks, config, pass_index=0) -> List[tuple]:
         start_wall = time.perf_counter()
         start_time = time.time()
         collector = _MetricCollector()
@@ -1247,6 +1258,8 @@ class ProcessExecutor(SimulatedExecutor):
                 self.obs.observe("snapshot_delta_ratio", ratio)
             parts = [[task] for task in tasks]
             chunks = len(parts)
+            index_base = self.shard_chunks_seen
+            self.shard_chunks_seen += chunks
             self._account_bytes("shard", kind, ref_bytes * chunks)
             try:
                 merged = self._collect_chunks(
@@ -1255,6 +1268,7 @@ class ProcessExecutor(SimulatedExecutor):
                     lambda chunk, coll: _shard_tasks(
                         aig, chunk, config, coll
                     ),
+                    index_base=index_base,
                 )
             except (OSError, MemoryError) as exc:
                 self._warn_fallback(f"shard fan-out failed ({exc})")
@@ -1271,7 +1285,7 @@ class ProcessExecutor(SimulatedExecutor):
                 wall.parent_span(
                     "shard_fanout", start_time, time.time(),
                     stage="shard", shards=len(tasks), chunks=chunks,
-                    jobs=self.jobs,
+                    jobs=self.jobs, shard_pass=pass_index,
                 )
                 self._update_pool_gauges(wall)
         return merged

@@ -34,6 +34,11 @@ class RewriteResult:
     stage_units: Dict[str, int] = field(default_factory=dict)
     # Region count of a sharded run (0 = the unsharded level pipeline).
     shards: int = 0
+    # Seam-rotation passes a sharded run executed (0 = unsharded).
+    shard_passes: int = 0
+    # Why a sharded request fell back to the unsharded pipeline
+    # ("" = no fallback happened; e.g. "too_few_pos", "too_few_regions").
+    shard_fallback: str = ""
 
     @property
     def area_reduction(self) -> int:
@@ -76,6 +81,8 @@ class RewriteResult:
             "revalidated": self.revalidated,
             "stage_units": dict(self.stage_units),
             "shards": self.shards,
+            "shard_passes": self.shard_passes,
+            "shard_fallback": self.shard_fallback,
         }
 
     def summary(self) -> str:

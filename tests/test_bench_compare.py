@@ -37,6 +37,7 @@ def _report(**overrides):
             "sharded_nodes_per_second": 4_500.0,
             "speedup_at_4": 2.0,
         },
+        "sharded_qor": {"area_gap_pct": 1.5},
     }
     for path, value in overrides.items():
         section, key = path.split(".")
@@ -166,6 +167,9 @@ class TestBenchCompareCli:
         current["sharded_rewrite"].update(
             nodes=2000, jobs=4, boundary_frozen=100, equivalent=True,
             curve=[{"shards": s, "seconds": 1.0} for s in (1, 2, 4)])
+        current["sharded_qor"].update(
+            area_sharded=1820, area_unsharded=1800, shards=4,
+            shard_passes=2, equivalent=True)
         baseline_ok = tmp_path / "base_ok.json"
         baseline_ok.write_text(json.dumps(_report()))
         baseline_bad = tmp_path / "base_bad.json"

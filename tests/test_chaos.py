@@ -198,6 +198,23 @@ class TestShardChaos:
         assert _counter(obs, "chunk_fallback_total") == 1
         assert r_proc.shards >= 2
 
+    def test_fault_on_rotation_pass_two_chunk(self):
+        """Shard chunk coordinates are cumulative across seam-rotation
+        passes: with 4 first-pass shards, ``shard:4`` addresses the
+        first chunk of pass 2, and the faulted multi-pass run must
+        still match the fault-free sequential one byte for byte."""
+        base = self.BASE()
+        multi = dict(shard_passes=2, boundary_cleanup=True)
+        r_seq, a_seq, _ = _run(base, "simulated", config=self._cfg(**multi))
+        assert r_seq.shard_passes == 2
+        cfg = self._cfg(fault_plan="raise@shard:4", **multi)
+        r_proc, a_proc, obs = _run(base, "process", config=cfg)
+        assert result_fingerprint(r_proc) == result_fingerprint(r_seq)
+        assert aig_fingerprint(a_proc) == aig_fingerprint(a_seq)
+        # The pass-2 chunk genuinely faulted and recovered via retry.
+        assert _counter(obs, "chunk_retries_total") >= 1
+        assert _counter(obs, "chunk_fallback_total") == 0
+
 
 class TestPoolCrashRecovery:
     """A killed worker mid-stage: the stage completes, the pool

@@ -29,7 +29,12 @@ from __future__ import annotations
 from repro.aig import Aig, lit_var
 from repro.aig.traversal import tfi, tfo
 from repro.bench import mtm_like
-from repro.core.partition import extract_regions
+from repro.core.partition import (
+    cleanup_region,
+    extract_regions,
+    merge_work_estimates,
+    plan_regions,
+)
 
 from conftest import random_aig
 
@@ -216,3 +221,193 @@ class TestDegenerateFallbacks:
         aig.add_po(f)
         aig.add_po(f ^ 1)
         assert extract_regions(aig, 2) is None
+
+
+class TestFallbackReasons:
+    """`plan_regions` names why a graph did not decompose — the signal
+    the sharded driver surfaces as ``RewriteResult.shard_fallback`` and
+    ``shard_fallback_total{reason}`` instead of falling back silently."""
+
+    def test_single_shard(self):
+        aig = random_aig(num_pis=6, num_nodes=60, num_pos=4, seed=3)
+        assert plan_regions(aig, 1) == (None, "single_shard")
+
+    def test_too_few_pos(self):
+        aig = random_aig(num_pis=5, num_nodes=40, num_pos=1, seed=2)
+        assert plan_regions(aig, 4) == (None, "too_few_pos")
+
+    def test_no_reachable_ands(self):
+        aig = Aig()
+        a = aig.add_pi()
+        aig.add_po(a)
+        aig.add_po(a ^ 1)
+        assert plan_regions(aig, 2) == (None, "no_reachable_ands")
+
+    def test_min_nodes_floor(self):
+        aig = random_aig(num_pis=6, num_nodes=60, num_pos=5, seed=3)
+        assert plan_regions(aig, 4, min_nodes=10 ** 6) == \
+            (None, "min_nodes_floor")
+
+    def test_too_few_regions(self):
+        # Two POs sharing one driver: one group swallows everything.
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        f = aig.and_(a, b)
+        aig.add_po(f)
+        aig.add_po(f ^ 1)
+        plan, reason = plan_regions(aig, 2)
+        assert plan is None
+        assert reason == "too_few_regions"
+
+    def test_success_has_no_reason(self):
+        aig = mtm_like(num_pis=12, num_nodes=250, seed=101)
+        plan, reason = plan_regions(aig, 4, min_nodes=1)
+        assert plan is not None
+        assert reason is None
+
+
+class TestSeamRotation:
+    def test_rotation_deterministic(self):
+        for make in CIRCUITS:
+            aig = make()
+            for rotation in (0, 1, 3):
+                a = extract_regions(aig, 4, min_nodes=1, rotation=rotation)
+                b = extract_regions(aig, 4, min_nodes=1, rotation=rotation)
+                assert a == b
+                if a is not None:
+                    assert a.rotation == rotation
+
+    def test_rotation_zero_matches_default(self):
+        for make in CIRCUITS:
+            aig = make()
+            assert extract_regions(aig, 4, min_nodes=1) == \
+                extract_regions(aig, 4, min_nodes=1, rotation=0)
+
+    def test_rotation_moves_the_boundary(self):
+        """The point of seam rotation: at least one corpus circuit must
+        freeze a different boundary under a rotated grouping, or
+        multi-pass sharding would re-freeze the same nodes forever."""
+        moved = 0
+        comparable = 0
+        for make in CIRCUITS:
+            aig = make()
+            base = extract_regions(aig, 4, min_nodes=1, rotation=0)
+            rot = extract_regions(aig, 4, min_nodes=1, rotation=1)
+            if base is None or rot is None:
+                continue
+            comparable += 1
+            if base.boundary != rot.boundary:
+                moved += 1
+        assert comparable
+        assert moved
+
+    def test_rotated_plans_keep_the_properties(self):
+        """Rotation permutes the grouping; it must not loosen the
+        Theorem-1 properties (tiling, disjointness, support closure)."""
+        checked = 0
+        for make in CIRCUITS:
+            aig = make()
+            for rotation in (1, 2):
+                plan = extract_regions(aig, 4, min_nodes=1, rotation=rotation)
+                if plan is None:
+                    continue
+                checked += 1
+                reachable = _reachable(aig)
+                owned_all: list = []
+                for shard in plan.shards:
+                    owned_all.extend(shard.owned)
+                assert len(owned_all) == len(set(owned_all))
+                assert not set(owned_all) & plan.boundary
+                assert set(owned_all) | plan.boundary == reachable
+                assert plan.dangling == set(aig.ands()) - reachable
+                cones = [set(shard.owned) for shard in plan.shards]
+                for i, shard in enumerate(plan.shards):
+                    reach_fwd = tfo(aig, shard.owned)
+                    reach_bwd = tfi(aig, shard.owned)
+                    for j, other in enumerate(cones):
+                        if j == i:
+                            continue
+                        assert not reach_fwd & other, (i, j)
+                        assert not reach_bwd & other, (i, j)
+                for shard in plan.shards:
+                    for v in shard.support:
+                        assert aig.is_pi(v) or v in plan.boundary
+        assert checked
+
+
+class TestWorkBalance:
+    def test_estimates_positive_for_every_and(self):
+        for make in CIRCUITS:
+            aig = make()
+            work = merge_work_estimates(aig)
+            ands = set(aig.ands())
+            assert set(work) == ands
+            assert all(w >= 1 for w in work.values())
+
+    def test_estimates_saturate_at_max_cuts(self):
+        aig = mtm_like(num_pis=12, num_nodes=400, seed=5)
+        work = merge_work_estimates(aig, max_cuts=12)
+        # est caps at max_cuts, so pair counts cap at max_cuts**2.
+        assert max(work.values()) <= 12 * 12
+
+    def test_shards_record_est_work(self):
+        for aig, plan in _plans():
+            work = merge_work_estimates(aig)
+            for shard in plan.shards:
+                assert shard.est_work == \
+                    sum(work.get(v, 1) for v in shard.owned)
+                assert shard.est_work >= len(shard.owned)
+
+
+class TestCleanupRegion:
+    def _dangling_fixture(self):
+        """Two independent PO cones plus a live AND cone reaching no
+        PO at all — the nodes every sharded pass used to skip."""
+        aig = Aig()
+        a, b, c, d = (aig.add_pi() for _ in range(4))
+        f = aig.and_(a, b)
+        g = aig.and_(c, d)
+        aig.add_po(f)
+        aig.add_po(g)
+        m0 = aig.and_(a, c)
+        m1 = aig.and_(b, d)
+        top = aig.and_(m0, m1)
+        dangling = {lit_var(m0), lit_var(m1), lit_var(top)}
+        return aig, dangling
+
+    def test_plan_reports_dangling(self):
+        aig, dangling = self._dangling_fixture()
+        plan = extract_regions(aig, 2, min_nodes=1)
+        assert plan is not None
+        assert plan.dangling == dangling
+
+    def test_cleanup_region_covers_dangling_and_boundary(self):
+        """Satellite contract: the cleanup worklist covers every former
+        boundary and dangling node (they are no longer silently
+        skipped) plus their TFI neighborhood."""
+        aig, dangling = self._dangling_fixture()
+        plan = extract_regions(aig, 2, min_nodes=1)
+        targets = set(plan.boundary) | set(plan.dangling)
+        region = cleanup_region(aig, targets)
+        assert targets <= region
+        for v in region:
+            assert aig.is_and(v) and not aig.is_dead(v)
+
+    def test_cleanup_region_includes_direct_readers(self):
+        aig = Aig()
+        a, b, c = (aig.add_pi() for _ in range(3))
+        f = aig.and_(a, b)
+        reader = aig.and_(f, c)
+        aig.add_po(reader)
+        region = cleanup_region(aig, [lit_var(f)])
+        assert lit_var(f) in region
+        assert lit_var(reader) in region  # first reader across the seam
+
+    def test_cleanup_region_skips_dead_targets(self):
+        aig, _ = self._dangling_fixture()
+        plan = extract_regions(aig, 2, min_nodes=1)
+        assert cleanup_region(aig, []) == set()
+        # PIs are never part of the region even when targeted.
+        region = cleanup_region(aig, list(plan.boundary) + list(aig.pis))
+        for v in region:
+            assert aig.is_and(v)
